@@ -1,0 +1,69 @@
+// Command aodbench regenerates the paper's experiments (Figures 2–5,
+// Exp-1 … Exp-6) on the synthetic workloads.
+//
+// Usage:
+//
+//	aodbench [-exp all|1|2|3|4|5|6] [-scale tiny|small|paper] [-seed N] [-out FILE]
+//
+// Example:
+//
+//	aodbench -exp 3 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"aod/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, 6")
+	scaleFlag := flag.String("scale", "tiny", "workload scale: tiny, small, paper")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "", "also write results to this file")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "aodbench — scale=%s seed=%d started=%s\n\n", scale, *seed, time.Now().Format(time.RFC3339))
+	start := time.Now()
+	switch *exp {
+	case "all":
+		bench.All(w, scale, *seed)
+	case "1":
+		bench.Exp1(w, scale, *seed)
+	case "2":
+		bench.Exp2(w, scale, *seed)
+	case "3":
+		bench.Exp3(w, scale, *seed)
+	case "4":
+		bench.Exp4(w, scale, *seed)
+	case "5":
+		bench.Exp5(w, scale, *seed)
+	case "6":
+		bench.Exp6(w, scale, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "aodbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Fprintf(w, "total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,124 @@
+// Command aodiscover discovers (approximate) order dependencies in a CSV
+// file.
+//
+// Usage:
+//
+//	aodiscover [-threshold 0.1] [-algorithm optimal|exact|iterative]
+//	           [-max-level N] [-ofds] [-removals] [-max-rows N]
+//	           [-columns a,b,c] [-top N] file.csv
+//
+// Example:
+//
+//	aodiscover -threshold 0.10 -ofds employees.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aod"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "approximation threshold ε in [0,1]")
+	algorithm := flag.String("algorithm", "optimal", "validator: optimal, exact, iterative")
+	maxLevel := flag.Int("max-level", 0, "bound on the lattice level (0 = unbounded)")
+	ofds := flag.Bool("ofds", false, "also report order functional dependencies")
+	removals := flag.Bool("removals", false, "print removal-set row indexes (error repair candidates)")
+	maxRows := flag.Int("max-rows", 0, "limit the number of CSV rows read (0 = all)")
+	columns := flag.String("columns", "", "comma-separated column subset to profile")
+	top := flag.Int("top", 0, "print only the N most interesting dependencies (0 = all)")
+	timeLimit := flag.Duration("time-limit", 0, "abort discovery after this duration")
+	bidirectional := flag.Bool("bidirectional", false, "also search mixed-direction OCs (A ∼ B↓)")
+	parallelism := flag.Int("parallelism", 0, "validate each lattice level across N workers (0 = sequential)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aodiscover [flags] file.csv")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var alg aod.Algorithm
+	switch strings.ToLower(*algorithm) {
+	case "optimal":
+		alg = aod.AlgorithmOptimal
+	case "exact":
+		alg = aod.AlgorithmExact
+	case "iterative":
+		alg = aod.AlgorithmIterative
+	default:
+		fmt.Fprintf(os.Stderr, "aodiscover: unknown algorithm %q\n", *algorithm)
+		os.Exit(2)
+	}
+
+	opts := aod.CSVOptions{MaxRows: *maxRows}
+	if *columns != "" {
+		opts.Columns = strings.Split(*columns, ",")
+	}
+	ds, err := aod.ReadCSVFile(flag.Arg(0), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodiscover:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %s\n", ds)
+
+	rep, err := aod.Discover(ds, aod.Options{
+		Threshold:          *threshold,
+		Algorithm:          alg,
+		MaxLevel:           *maxLevel,
+		IncludeOFDs:        *ofds,
+		CollectRemovalSets: *removals,
+		TimeLimit:          *timeLimit,
+		Bidirectional:      *bidirectional,
+		Parallelism:        *parallelism,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodiscover:", err)
+		os.Exit(1)
+	}
+
+	st := rep.Stats
+	fmt.Printf("discovery: %s total (%.1f%% validation), %d nodes, %d OC / %d OFD candidates",
+		st.TotalTime.Round(time.Millisecond), st.ValidationShare()*100,
+		st.NodesProcessed, st.OCCandidates, st.OFDCandidates)
+	if st.TimedOut {
+		fmt.Print(" [TIMED OUT — partial results]")
+	}
+	fmt.Println()
+
+	ocs := rep.OCs
+	if *top > 0 && len(ocs) > *top {
+		ocs = ocs[:*top]
+	}
+	fmt.Printf("\n%d order compatibilities (showing %d):\n", len(rep.OCs), len(ocs))
+	for _, oc := range ocs {
+		fmt.Printf("  %-60s score=%.3f level=%d\n", oc.String(), oc.Score, oc.Level)
+		if *removals && len(oc.RemovalRows) > 0 {
+			fmt.Printf("    removal rows: %v\n", truncateInts(oc.RemovalRows, 20))
+		}
+	}
+	if *ofds {
+		ofdList := rep.OFDs
+		if *top > 0 && len(ofdList) > *top {
+			ofdList = ofdList[:*top]
+		}
+		fmt.Printf("\n%d order functional dependencies (showing %d):\n", len(rep.OFDs), len(ofdList))
+		for _, ofd := range ofdList {
+			fmt.Printf("  %-60s score=%.3f level=%d\n", ofd.String(), ofd.Score, ofd.Level)
+			if *removals && len(ofd.RemovalRows) > 0 {
+				fmt.Printf("    removal rows: %v\n", truncateInts(ofd.RemovalRows, 20))
+			}
+		}
+	}
+}
+
+func truncateInts(v []int, n int) []int {
+	if len(v) <= n {
+		return v
+	}
+	return v[:n]
+}

@@ -1,0 +1,87 @@
+package aod
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestCLISmoke builds every command and exercises the end-user workflow:
+// datagen → aodiscover → aodvalidate → aodbench.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"aodiscover", "aodvalidate", "datagen", "aodbench"} {
+		out := filepath.Join(dir, tool)
+		if runtime.GOOS == "windows" {
+			out += ".exe"
+		}
+		cmd := exec.Command(goBin, "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = "."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+		bins[tool] = out
+	}
+
+	csvPath := filepath.Join(dir, "table1.csv")
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bins[tool], args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("datagen", "-dataset", "table1", "-out", csvPath)
+	if !strings.Contains(out, "9 rows") {
+		t.Errorf("datagen output: %q", out)
+	}
+
+	out = run("aodiscover", "-threshold", "0.12", "-ofds", "-removals", csvPath)
+	if !strings.Contains(out, "exp ∼ sal") {
+		t.Errorf("aodiscover did not find {pos}: exp ∼ sal:\n%s", out)
+	}
+
+	out = run("aodvalidate", "-a", "sal", "-b", "tax", "-threshold", "0.5", "-compare", csvPath)
+	if !strings.Contains(out, "0.4444") || !strings.Contains(out, "0.5556") {
+		t.Errorf("aodvalidate did not reproduce Examples 2.15/3.1:\n%s", out)
+	}
+	if !strings.Contains(out, "WRONGLY reject") {
+		t.Errorf("aodvalidate -compare should flag the legacy rejection:\n%s", out)
+	}
+
+	out = run("aodvalidate", "-a", "sal", "-b", "bonus", "-context", "pos", "-kind", "od", "-threshold", "0", csvPath)
+	if !strings.Contains(out, "valid") {
+		t.Errorf("aodvalidate od kind failed:\n%s", out)
+	}
+
+	out = run("aodvalidate", "-a", "sal", "-kind", "ofd", "-context", "pos,exp", "-threshold", "0.2", csvPath)
+	if !strings.Contains(out, "valid") {
+		t.Errorf("aodvalidate ofd kind failed:\n%s", out)
+	}
+
+	// Error paths exit non-zero.
+	if _, err := exec.Command(bins["aodiscover"], filepath.Join(dir, "missing.csv")).CombinedOutput(); err == nil {
+		t.Error("aodiscover should fail on a missing file")
+	}
+	if _, err := exec.Command(bins["datagen"], "-dataset", "bogus", "-out", csvPath).CombinedOutput(); err == nil {
+		t.Error("datagen should reject unknown datasets")
+	}
+	if _, err := exec.Command(bins["aodbench"], "-exp", "99").CombinedOutput(); err == nil {
+		t.Error("aodbench should reject unknown experiments")
+	}
+	if _, err := exec.Command(bins["aodbench"], "-scale", "galactic").CombinedOutput(); err == nil {
+		t.Error("aodbench should reject unknown scales")
+	}
+}

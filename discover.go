@@ -1,0 +1,269 @@
+package aod
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aod/internal/core"
+)
+
+// Algorithm selects the validation algorithm used during discovery.
+type Algorithm int
+
+const (
+	// AlgorithmOptimal is the paper's LNDS-based optimal validator
+	// (Algorithm 2): O(n log n), guaranteed-minimal removal sets, complete
+	// discovery. This is the default.
+	AlgorithmOptimal Algorithm = iota
+	// AlgorithmExact discovers exact order dependencies only (ε = 0), the
+	// "OD" baseline of the paper's experiments.
+	AlgorithmExact
+	// AlgorithmIterative is the legacy greedy validator (Algorithm 1):
+	// O(n log n + εn²), may overestimate approximation factors and thus
+	// miss valid dependencies. Provided as the paper's comparison baseline.
+	AlgorithmIterative
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string { return a.kind().String() }
+
+func (a Algorithm) kind() core.ValidatorKind {
+	switch a {
+	case AlgorithmExact:
+		return core.ValidatorExact
+	case AlgorithmIterative:
+		return core.ValidatorIterative
+	default:
+		return core.ValidatorOptimal
+	}
+}
+
+// Options configures Discover. The zero value runs the optimal validator
+// with threshold 0 (equivalent to exact discovery); set Threshold to the
+// tolerated exception fraction (the paper's experiments default to 0.10) to
+// discover approximate dependencies.
+type Options struct {
+	// Threshold is the approximation threshold ε ∈ [0,1]: a dependency is
+	// reported when at most ε·|rows| tuples must be removed for it to hold.
+	Threshold float64
+	// Algorithm selects the validator (default AlgorithmOptimal).
+	Algorithm Algorithm
+	// MaxLevel bounds the attribute-lattice level explored (0 = unbounded).
+	MaxLevel int
+	// IncludeOFDs also reports order functional dependencies (constancy
+	// dependencies); OCs are always reported.
+	IncludeOFDs bool
+	// CollectRemovalSets attaches minimal removal sets to each dependency.
+	CollectRemovalSets bool
+	// TimeLimit aborts discovery after this duration with partial results
+	// (Stats.TimedOut set). 0 disables.
+	TimeLimit time.Duration
+	// Parallelism > 1 validates each lattice level's candidates across that
+	// many workers (0 or 1 = sequential). Results are identical to the
+	// sequential run.
+	Parallelism int
+	// SampleStride > 1 enables hybrid-sampling pre-filtering of AOC
+	// candidates (the paper's future-work direction): candidates whose
+	// error estimate on every SampleStride-th tuple exceeds
+	// Threshold+SampleSlack are rejected without a full validation. All
+	// reported dependencies are still fully validated; the mode trades a
+	// small completeness risk for validation time.
+	SampleStride int
+	// SampleSlack is the hybrid-sampling rejection margin (0 = default 0.05).
+	SampleSlack float64
+	// Bidirectional additionally searches mixed-direction order
+	// compatibilities "A ∼ B↓" (A ascending, B descending), after the
+	// bidirectional OD framework the paper builds upon.
+	Bidirectional bool
+}
+
+// OC is a discovered (approximate) order compatibility: within each group of
+// rows agreeing on Context, A and B can be sorted simultaneously after
+// removing Removals rows table-wide.
+type OC struct {
+	// Context holds the context column names (possibly empty).
+	Context []string
+	// A and B are the order-compatible columns.
+	A, B string
+	// Descending marks a mixed-direction OC (A ascending, B descending),
+	// reported only under Options.Bidirectional.
+	Descending bool
+	// Error is the approximation factor e ∈ [0,1] (0 = holds exactly).
+	Error float64
+	// Removals is the removal-set size behind Error.
+	Removals int
+	// Level is the lattice level at which the dependency was found.
+	Level int
+	// Score is the interestingness score (higher = more interesting).
+	Score float64
+	// RemovalRows holds minimal-removal-set row indexes when requested.
+	RemovalRows []int
+}
+
+// String renders the OC in the paper's canonical notation; mixed-direction
+// OCs carry a "↓" on the descending side.
+func (d OC) String() string {
+	mark := ""
+	if d.Descending {
+		mark = "↓"
+	}
+	return fmt.Sprintf("{%s}: %s ∼ %s%s (e=%.4f)", strings.Join(d.Context, ","), d.A, d.B, mark, d.Error)
+}
+
+// OFD is a discovered (approximate) order functional dependency: A is
+// constant within each group of rows agreeing on Context, up to Removals
+// exceptions.
+type OFD struct {
+	Context     []string
+	A           string
+	Error       float64
+	Removals    int
+	Level       int
+	Score       float64
+	RemovalRows []int
+}
+
+// String renders the OFD in the paper's canonical notation.
+func (d OFD) String() string {
+	return fmt.Sprintf("{%s}: [] ↦ %s (e=%.4f)", strings.Join(d.Context, ","), d.A, d.Error)
+}
+
+// Stats instruments a discovery run.
+type Stats struct {
+	// Rows and Attrs describe the input.
+	Rows, Attrs int
+	// LevelsProcessed is the number of lattice levels examined.
+	LevelsProcessed int
+	// NodesProcessed counts attribute sets whose candidates were examined.
+	NodesProcessed int
+	// OCCandidates and OFDCandidates count validated candidates.
+	OCCandidates, OFDCandidates int
+	// OCsFoundPerLevel / OFDsFoundPerLevel index discovered counts by level.
+	OCsFoundPerLevel, OFDsFoundPerLevel []int
+	// ValidationTime is wall-clock time inside validators; PartitionTime is
+	// time spent building partitions; TotalTime is end-to-end.
+	ValidationTime, PartitionTime, TotalTime time.Duration
+	// TimedOut reports a TimeLimit abort (results are partial).
+	TimedOut bool
+	// EarlyStopped reports that discovery ended before exhausting the
+	// lattice because no candidates remained.
+	EarlyStopped bool
+}
+
+// ValidationShare returns ValidationTime/TotalTime — the fraction of runtime
+// spent validating candidates (the paper reports up to 99.6% for the
+// iterative algorithm).
+func (s Stats) ValidationShare() float64 {
+	if s.TotalTime <= 0 {
+		return 0
+	}
+	return float64(s.ValidationTime) / float64(s.TotalTime)
+}
+
+// AvgOCLevel returns the mean lattice level of the discovered OCs.
+func (s Stats) AvgOCLevel() float64 {
+	n, sum := 0, 0
+	for lvl, c := range s.OCsFoundPerLevel {
+		n += c
+		sum += lvl * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Report is the result of a discovery run. Dependencies are ordered by
+// descending interestingness score.
+type Report struct {
+	OCs   []OC
+	OFDs  []OFD
+	Stats Stats
+}
+
+// Discover finds the complete set of minimal (approximate) order
+// compatibilities — and, optionally, order functional dependencies — that
+// hold on the dataset within the configured threshold.
+func Discover(d *Dataset, opts Options) (*Report, error) {
+	cfg := core.Config{
+		Threshold:          opts.Threshold,
+		Validator:          opts.Algorithm.kind(),
+		MaxLevel:           opts.MaxLevel,
+		IncludeOFDs:        opts.IncludeOFDs,
+		CollectRemovalSets: opts.CollectRemovalSets,
+		TimeLimit:          opts.TimeLimit,
+		SampleStride:       opts.SampleStride,
+		SampleSlack:        opts.SampleSlack,
+		Bidirectional:      opts.Bidirectional,
+	}
+	var res *core.Result
+	var err error
+	if opts.Parallelism > 1 {
+		res, err = core.DiscoverParallel(d.table(), cfg, opts.Parallelism)
+	} else {
+		res, err = core.Discover(d.table(), cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.SortByScore()
+	names := d.ColumnNames()
+	rep := &Report{
+		Stats: Stats{
+			Rows:              res.Stats.Rows,
+			Attrs:             res.Stats.Attrs,
+			LevelsProcessed:   res.Stats.LevelsProcessed,
+			NodesProcessed:    res.Stats.NodesProcessed,
+			OCCandidates:      res.Stats.OCCandidates,
+			OFDCandidates:     res.Stats.OFDCandidates,
+			OCsFoundPerLevel:  res.Stats.OCsFoundPerLevel,
+			OFDsFoundPerLevel: res.Stats.OFDsFoundPerLevel,
+			ValidationTime:    res.Stats.ValidationTime,
+			PartitionTime:     res.Stats.PartitionTime,
+			TotalTime:         res.Stats.TotalTime,
+			TimedOut:          res.Stats.TimedOut,
+			EarlyStopped:      res.Stats.EarlyStopped,
+		},
+	}
+	for _, oc := range res.OCs {
+		var ctx []string
+		oc.Context.ForEach(func(a int) { ctx = append(ctx, names[a]) })
+		rep.OCs = append(rep.OCs, OC{
+			Context:     ctx,
+			A:           names[oc.A],
+			B:           names[oc.B],
+			Descending:  oc.Descending,
+			Error:       oc.Error,
+			Removals:    oc.Removals,
+			Level:       oc.Level,
+			Score:       oc.Score,
+			RemovalRows: toInts(oc.RemovalRows),
+		})
+	}
+	for _, ofd := range res.OFDs {
+		var ctx []string
+		ofd.Context.ForEach(func(a int) { ctx = append(ctx, names[a]) })
+		rep.OFDs = append(rep.OFDs, OFD{
+			Context:     ctx,
+			A:           names[ofd.A],
+			Error:       ofd.Error,
+			Removals:    ofd.Removals,
+			Level:       ofd.Level,
+			Score:       ofd.Score,
+			RemovalRows: toInts(ofd.RemovalRows),
+		})
+	}
+	return rep, nil
+}
+
+func toInts(rows []int32) []int {
+	if rows == nil {
+		return nil
+	}
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = int(r)
+	}
+	return out
+}

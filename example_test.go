@@ -1,0 +1,83 @@
+package aod_test
+
+import (
+	"fmt"
+	"sort"
+
+	"aod"
+)
+
+// Discover approximate order compatibilities on the paper's running example
+// (Table 1) and print the ones involving the salary column.
+func ExampleDiscover() {
+	ds := aod.Table1()
+	report, err := aod.Discover(ds, aod.Options{
+		Threshold: 0.12, // tolerate 12% exceptions
+		Algorithm: aod.AlgorithmOptimal,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, oc := range report.OCs {
+		if len(oc.Context) == 1 && oc.Context[0] == "pos" && oc.A == "exp" && oc.B == "sal" {
+			fmt.Printf("%v removals=%d\n", oc, oc.Removals)
+		}
+	}
+	// Output:
+	// {pos}: exp ∼ sal (e=0.1111) removals=1
+}
+
+// Validate a single candidate: the paper's Example 2.15 — the OC sal ∼ tax
+// has a minimal removal set of 4 tuples (t1, t2, t4, t6).
+func ExampleValidateOC() {
+	ds := aod.Table1()
+	v, err := aod.ValidateOC(ds, nil, "sal", "tax", 0.5)
+	if err != nil {
+		panic(err)
+	}
+	rows := append([]int{}, v.RemovalRows...)
+	sort.Ints(rows)
+	fmt.Printf("e=%.4f minimal removal=%v\n", v.Error, rows)
+	// Output:
+	// e=0.4444 minimal removal=[0 1 3 5]
+}
+
+// The legacy iterative validator (Algorithm 1) overestimates the same
+// candidate — the paper's Example 3.1.
+func ExampleValidateOCIterative() {
+	ds := aod.Table1()
+	v, err := aod.ValidateOCIterative(ds, nil, "sal", "tax", 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimated removals=%d (true minimum is 4)\n", v.Removals)
+	// Output:
+	// estimated removals=5 (true minimum is 4)
+}
+
+// Order functional dependencies capture near-constancy: position and
+// experience almost determine salary (one exception, the t6/t7 split).
+func ExampleValidateOFD() {
+	ds := aod.Table1()
+	v, err := aod.ValidateOFD(ds, []string{"pos", "exp"}, "sal", 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("valid=%v removals=%d\n", v.Valid, v.Removals)
+	// Output:
+	// valid=true removals=1
+}
+
+// Repair suggestions turn a dependency's removal set into value intervals.
+func ExampleSuggestRepairs() {
+	ds := aod.Table1()
+	repairs, err := aod.SuggestRepairs(ds, []string{"pos"}, "exp", "sal")
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range repairs {
+		fmt.Printf("row %d: %s=%s should be at most %s\n", r.Row, r.Column, r.Current, r.Hi)
+	}
+	// Output:
+	// row 7: sal=90 should be at most 30
+}

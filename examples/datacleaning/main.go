@@ -1,0 +1,73 @@
+// Datacleaning demonstrates the end of the paper's pipeline (Fig. 1):
+// discovered approximate dependencies drive error repair — each flagged
+// tuple gets a suggested value range that restores consistency — and
+// outlier detection via multi-dependency suspicion ranking.
+//
+// Run with: go run ./examples/datacleaning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aod"
+)
+
+func main() {
+	// Sensor readings: temperature and two derived calibrations. Device 2's
+	// gauge glitched on a couple of readings.
+	ds, err := aod.NewBuilder().
+		AddInts("device", []int64{1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3}).
+		AddInts("celsius", []int64{10, 15, 20, 25, 5, 10, 15, 20, 25, 30, 35, 40}).
+		AddInts("fahrenheit", []int64{50, 59, 68, 77, 41, 50, 59, 680, 77, 86, 95, 104}).
+		AddInts("kelvinX10", []int64{2831, 2881, 2931, 2981, 2781, 2831, 288, 2931, 2981, 3031, 3081, 3131}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds)
+
+	// Discover with removal sets: the glitched readings surface as the
+	// exceptions of otherwise-clean dependencies.
+	rep, err := aod.Discover(ds, aod.Options{
+		Threshold:          0.20,
+		Algorithm:          aod.AlgorithmOptimal,
+		CollectRemovalSets: true,
+		IncludeOFDs:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndiscovered %d AOCs at ε=20%%:\n", len(rep.OCs))
+	for _, oc := range rep.OCs {
+		fmt.Printf("  %v (flags rows %v)\n", oc, oc.RemovalRows)
+	}
+
+	// Repair suggestions for the temperature scale dependency.
+	repairs, err := aod.SuggestRepairs(ds, nil, "celsius", "fahrenheit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrepair suggestions for celsius ∼ fahrenheit:")
+	for _, r := range repairs {
+		lo, hi := r.Lo, r.Hi
+		if lo == "" {
+			lo = "-∞"
+		}
+		if hi == "" {
+			hi = "+∞"
+		}
+		fmt.Printf("  row %d: %s=%s is inconsistent; any value in [%s, %s] restores order\n",
+			r.Row, r.Column, r.Current, lo, hi)
+	}
+
+	// Outlier detection: rows flagged by at least two dependencies.
+	fmt.Println("\nsuspicious rows (flagged by ≥2 dependencies):")
+	for _, s := range aod.Suspects(rep, 2) {
+		c, _ := ds.Value(s.Row, "celsius")
+		f, _ := ds.Value(s.Row, "fahrenheit")
+		k, _ := ds.Value(s.Row, "kelvinX10")
+		fmt.Printf("  row %d flagged %d×: celsius=%s fahrenheit=%s kelvinX10=%s\n",
+			s.Row, s.Hits, c, f, k)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a small dataset in code, discover approximate order
+// dependencies, and print them ranked by interestingness.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aod"
+)
+
+func main() {
+	// A tiny product catalogue. Weight and shipping cost are intended to be
+	// order compatible (heavier ⇒ pricier shipping), but one row has a data
+	// entry error.
+	ds, err := aod.NewBuilder().
+		AddStrings("category", []string{"book", "book", "book", "tool", "tool", "tool", "toy", "toy"}).
+		AddInts("weightGrams", []int64{200, 450, 900, 1200, 2500, 4000, 300, 800}).
+		AddInts("shippingCents", []int64{299, 399, 499, 599, 899, 199, 349, 449}).
+		AddInts("priceCents", []int64{1099, 1499, 2499, 3599, 7999, 12999, 999, 1899}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds)
+
+	// Exact discovery misses weight ∼ shipping because of the single error.
+	exact, err := aod.Discover(ds, aod.Options{Algorithm: aod.AlgorithmExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact OCs (%d):\n", len(exact.OCs))
+	for _, oc := range exact.OCs {
+		fmt.Println("  ", oc)
+	}
+
+	// Allowing 15% exceptions recovers the intended dependency — with the
+	// minimal set of offending rows attached.
+	approx, err := aod.Discover(ds, aod.Options{
+		Threshold:          0.15,
+		Algorithm:          aod.AlgorithmOptimal,
+		CollectRemovalSets: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napproximate OCs at ε=15%% (%d):\n", len(approx.OCs))
+	for _, oc := range approx.OCs {
+		fmt.Printf("  %v  score=%.3f\n", oc, oc.Score)
+		for _, row := range oc.RemovalRows {
+			av, _ := ds.Value(row, oc.A)
+			bv, _ := ds.Value(row, oc.B)
+			fmt.Printf("      exception row %d: %s=%s %s=%s\n", row, oc.A, av, oc.B, bv)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package aod
+
+import "aod/internal/gen"
+
+// Flight generates the synthetic flight-flavoured dataset used by the
+// experiment harness in place of the paper's BTS download (see DESIGN.md §4
+// for the substitution rationale). attrs ∈ [2,35]; attrs = 0 means 10.
+// Identical (rows, attrs, seed) triples yield identical data.
+func Flight(rows, attrs int, seed int64) *Dataset {
+	return &Dataset{tbl: gen.Flight(gen.FlightConfig{Rows: rows, Attrs: attrs, Seed: seed})}
+}
+
+// NCVoter generates the synthetic ncvoter-flavoured dataset (in place of the
+// paper's NCSBE download). attrs ∈ [2,30]; attrs = 0 means 10.
+func NCVoter(rows, attrs int, seed int64) *Dataset {
+	return &Dataset{tbl: gen.NCVoter(gen.NCVoterConfig{Rows: rows, Attrs: attrs, Seed: seed})}
+}
+
+// Table1 returns the paper's running example (Table 1, employee salaries)
+// with monetary values scaled to integers.
+func Table1() *Dataset {
+	return &Dataset{tbl: gen.Table1()}
+}
+
+// CorrelatedPair generates a two-column dataset whose single OC candidate
+// has approximation factor ≈ frac — the isolated-validator benchmark
+// workload.
+func CorrelatedPair(rows int, frac float64, seed int64) *Dataset {
+	return &Dataset{tbl: gen.CorrelatedPair(rows, frac, seed)}
+}

@@ -1,0 +1,257 @@
+package aod
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end: generate → CSV → reload → discover → repair. The pipeline must
+// survive the round trip with identical discoveries.
+func TestIntegrationCSVPipeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flight.csv")
+	orig := Flight(3000, 8, 21)
+	if err := orig.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOrig, err := Discover(orig, Options{Threshold: 0.10, CollectRemovalSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBack, err := Discover(back, Options{Threshold: 0.10, CollectRemovalSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repOrig.OCs) != len(repBack.OCs) {
+		t.Fatalf("CSV round trip changed discovery: %d vs %d", len(repOrig.OCs), len(repBack.OCs))
+	}
+	// Repair flow on the reloaded data.
+	if len(repBack.OCs) > 0 {
+		oc := repBack.OCs[0]
+		if _, err := SuggestRepairs(back, oc.Context, oc.A, oc.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := Suspects(repBack, 1); len(s) == 0 {
+		t.Error("no suspects despite approximate dependencies")
+	}
+}
+
+// Columns restricted via CSVOptions must behave like a Select.
+func TestIntegrationColumnSubset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t1.csv")
+	if err := Table1().WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ReadCSVFile(path, CSVOptions{Columns: []string{"pos", "exp", "sal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCols() != 3 {
+		t.Fatalf("cols = %d", sub.NumCols())
+	}
+	rep, err := Discover(sub, Options{Threshold: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, oc := range rep.OCs {
+		if len(oc.Context) == 1 && oc.Context[0] == "pos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected {pos}: exp ∼ sal on the subset; got %v", rep.OCs)
+	}
+}
+
+// Degenerate inputs must not crash or report nonsense.
+func TestIntegrationDegenerateTables(t *testing.T) {
+	// All columns constant.
+	constant, err := NewBuilder().
+		AddInts("a", []int64{7, 7, 7, 7}).
+		AddInts("b", []int64{1, 1, 1, 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Discover(constant, Options{IncludeOFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OCs) != 0 {
+		t.Errorf("constant table: OCs = %v (all are constancy-trivial)", rep.OCs)
+	}
+	if len(rep.OFDs) != 2 {
+		t.Errorf("constant table: OFDs = %v, want both {}: []↦a and {}: []↦b", rep.OFDs)
+	}
+
+	// All columns identical keys.
+	keys, err := NewBuilder().
+		AddInts("k1", []int64{1, 2, 3, 4, 5}).
+		AddInts("k2", []int64{10, 20, 30, 40, 50}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Discover(keys, Options{IncludeOFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OCs) != 1 {
+		t.Errorf("key pair: OCs = %v, want exactly {}: k1 ∼ k2", rep.OCs)
+	}
+
+	// Pairwise-swapped columns: two swaps, one removal each fixes them, so
+	// e = 2/4 = 0.5 — valid at ε=0.5 and not constancy-trivialized (the
+	// per-column OFD error is 3/4).
+	anti, err := NewBuilder().
+		AddInts("a", []int64{1, 2, 3, 4}).
+		AddInts("b", []int64{2, 1, 4, 3}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Discover(anti, Options{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OCs) != 1 || math.Abs(rep.OCs[0].Error-0.5) > 1e-9 {
+		t.Errorf("swapped pair: %v", rep.OCs)
+	}
+}
+
+// Floats (with NaN) and strings must flow through discovery.
+func TestIntegrationMixedTypes(t *testing.T) {
+	ds, err := NewBuilder().
+		AddFloats("temp", []float64{1.5, 2.5, math.NaN(), 4.5, 5.5, 6.5}).
+		AddStrings("grade", []string{"a", "b", "a", "d", "e", "f"}).
+		AddInts("id", []int64{1, 2, 3, 4, 5, 6}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Discover(ds, Options{Threshold: 0.34, IncludeOFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id ∼ temp: NaN sorts first (rank 0) at id=3, one removal suffices:
+	// e = 1/6 ≤ 0.34 must be discovered.
+	found := false
+	for _, oc := range rep.OCs {
+		if (oc.A == "id" && oc.B == "temp") || (oc.A == "temp" && oc.B == "id") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("id ∼ temp not discovered: %v", rep.OCs)
+	}
+}
+
+// The three validators must agree on exact dependencies (ε = 0).
+func TestIntegrationValidatorsAgreeAtZeroThreshold(t *testing.T) {
+	ds := NCVoter(2000, 8, 17)
+	var counts [3]int
+	for i, alg := range []Algorithm{AlgorithmExact, AlgorithmOptimal, AlgorithmIterative} {
+		rep, err := Discover(ds, Options{Threshold: 0, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = len(rep.OCs)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("validators disagree at ε=0: %v", counts)
+	}
+}
+
+// Threshold coverage: every minimal AOC at a lower threshold must be covered
+// at a higher threshold — either by an AOC on the same pair with an
+// equal-or-smaller context, or by an AOFD on one of its sides with a context
+// contained in the AOC's (constancy trivializes the pair at the higher
+// threshold). The minimal set itself is not monotone, but coverage is.
+func TestIntegrationThresholdCoverage(t *testing.T) {
+	ds := Flight(1500, 8, 23)
+	low, err := Discover(ds, Options{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Discover(ds, Options{Threshold: 0.15, IncludeOFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pairKey struct{ a, b string }
+	ocCovers := make(map[pairKey][][]string)
+	for _, oc := range high.OCs {
+		k := pairKey{oc.A, oc.B}
+		ocCovers[k] = append(ocCovers[k], oc.Context)
+	}
+	ofdCovers := make(map[string][][]string)
+	for _, ofd := range high.OFDs {
+		ofdCovers[ofd.A] = append(ofdCovers[ofd.A], ofd.Context)
+	}
+	subset := func(small, big []string) bool {
+		set := make(map[string]bool, len(big))
+		for _, s := range big {
+			set[s] = true
+		}
+		for _, s := range small {
+			if !set[s] {
+				return false
+			}
+		}
+		return true
+	}
+	anySubset := func(ctxs [][]string, big []string) bool {
+		for _, c := range ctxs {
+			if subset(c, big) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, oc := range low.OCs {
+		k := pairKey{oc.A, oc.B}
+		if anySubset(ocCovers[k], oc.Context) {
+			continue
+		}
+		// Constancy trivialization at the higher threshold: a valid OFD
+		// Y ↦ A or Y ↦ B with Y ⊆ X kills the pair.
+		if anySubset(ofdCovers[oc.A], oc.Context) || anySubset(ofdCovers[oc.B], oc.Context) {
+			continue
+		}
+		t.Errorf("OC %v at ε=0.05 neither subsumed nor trivialized at ε=0.15", oc)
+	}
+}
+
+// Report strings are renderable and mention real column names.
+func TestIntegrationReportRendering(t *testing.T) {
+	ds := Table1()
+	rep, err := Discover(ds, Options{Threshold: 0.12, IncludeOFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, n := range ds.ColumnNames() {
+		names[n] = true
+	}
+	for _, oc := range rep.OCs {
+		if !names[oc.A] || !names[oc.B] {
+			t.Errorf("OC references unknown columns: %v", oc)
+		}
+		if !strings.Contains(oc.String(), "∼") {
+			t.Errorf("OC string malformed: %q", oc.String())
+		}
+	}
+	for _, ofd := range rep.OFDs {
+		if !names[ofd.A] {
+			t.Errorf("OFD references unknown column: %v", ofd)
+		}
+	}
+}

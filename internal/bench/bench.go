@@ -1,0 +1,255 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (Figures 2–5 and Exp-1 … Exp-6) on the synthetic workloads of
+// internal/gen. Absolute numbers differ from the paper (different hardware,
+// synthetic data); the reproduction targets are the qualitative shapes: who
+// wins, by roughly what factor, and where behaviour changes (see
+// EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"aod/internal/core"
+	"aod/internal/dataset"
+	"aod/internal/gen"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScaleTiny finishes in seconds; used by tests and CI.
+	ScaleTiny Scale = iota
+	// ScaleSmall finishes in minutes; the default for cmd/aodbench.
+	ScaleSmall
+	// ScalePaper mirrors the paper's grids (hours; the iterative validator
+	// is wall-clock capped and projected, as the paper itself does for the
+	// flight dataset).
+	ScalePaper
+)
+
+// ParseScale maps a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "paper":
+		return ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown scale %q (want tiny|small|paper)", s)
+	}
+}
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// tupleGrid returns the |r| grid per dataset for Exp-1.
+func (s Scale) tupleGrid(dataset string) []int {
+	switch s {
+	case ScalePaper:
+		if dataset == "flight" {
+			return []int{200_000, 400_000, 600_000, 800_000, 1_000_000}
+		}
+		return []int{100_000, 1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000}
+	case ScaleSmall:
+		if dataset == "flight" {
+			return []int{20_000, 40_000, 60_000, 80_000, 100_000}
+		}
+		return []int{10_000, 50_000, 100_000, 200_000, 300_000}
+	default:
+		if dataset == "flight" {
+			return []int{2_000, 4_000, 6_000}
+		}
+		return []int{2_000, 6_000, 10_000}
+	}
+}
+
+// attrGrid returns the |R| grid per dataset for Exp-2.
+func (s Scale) attrGrid(dataset string) []int {
+	max := 35
+	if dataset == "ncvoter" {
+		max = 30
+	}
+	switch s {
+	case ScalePaper:
+		out := []int{}
+		for a := 5; a <= max; a += 5 {
+			out = append(out, a)
+		}
+		return out
+	case ScaleSmall:
+		out := []int{}
+		for a := 5; a <= min(20, max); a += 5 {
+			out = append(out, a)
+		}
+		return out
+	default:
+		return []int{4, 6, 8, 10}
+	}
+}
+
+// thresholdRows returns |r| for the Exp-3 threshold sweep.
+func (s Scale) thresholdRows() int {
+	switch s {
+	case ScalePaper:
+		return 10_000
+	case ScaleSmall:
+		return 10_000
+	default:
+		return 2_000
+	}
+}
+
+// exp5Rows returns |r| for the lattice-level experiment (paper: 5M).
+func (s Scale) exp5Rows() int {
+	switch s {
+	case ScalePaper:
+		return 5_000_000
+	case ScaleSmall:
+		return 100_000
+	default:
+		return 5_000
+	}
+}
+
+// iterativeCap bounds each iterative-validator discovery run.
+func (s Scale) iterativeCap() time.Duration {
+	switch s {
+	case ScalePaper:
+		return 30 * time.Minute
+	case ScaleSmall:
+		return 2 * time.Minute
+	default:
+		return 10 * time.Second
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("  note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte('\n')
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// genTable builds the named dataset at the requested shape.
+func genTable(name string, rows, attrs int, seed int64) *dataset.Table {
+	if name == "flight" {
+		return gen.Flight(gen.FlightConfig{Rows: rows, Attrs: attrs, Seed: seed})
+	}
+	return gen.NCVoter(gen.NCVoterConfig{Rows: rows, Attrs: attrs, Seed: seed})
+}
+
+// runResult is one measured discovery run.
+type runResult struct {
+	res      *core.Result
+	duration time.Duration
+	timedOut bool
+}
+
+func runDiscovery(tbl *dataset.Table, vk core.ValidatorKind, eps float64, cap time.Duration) runResult {
+	cfg := core.Config{
+		Threshold: eps,
+		Validator: vk,
+		TimeLimit: cap,
+	}
+	start := time.Now()
+	res, err := core.Discover(tbl, cfg)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return runResult{res: res, duration: time.Since(start), timedOut: res.Stats.TimedOut}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// projectQuadratic extrapolates a timed-out run from the last completed
+// (n, t) point assuming t ∝ n² — the iterative validator's dominating term —
+// mirroring the paper's projection of the flight iterative curve.
+func projectQuadratic(lastN int, lastT time.Duration, n int) time.Duration {
+	if lastN <= 0 {
+		return 0
+	}
+	ratio := float64(n) / float64(lastN)
+	return time.Duration(float64(lastT) * ratio * ratio)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"tiny": ScaleTiny, "Small": ScaleSmall, "PAPER": ScalePaper} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("want error for unknown scale")
+	}
+	if ScaleTiny.String() != "tiny" || ScaleSmall.String() != "small" || ScalePaper.String() != "paper" {
+		t.Error("Scale.String wrong")
+	}
+	if Scale(9).String() != "Scale(9)" {
+		t.Error("unknown scale formatting")
+	}
+}
+
+func TestGridsAreSane(t *testing.T) {
+	for _, sc := range []Scale{ScaleTiny, ScaleSmall, ScalePaper} {
+		for _, ds := range []string{"flight", "ncvoter"} {
+			grid := sc.tupleGrid(ds)
+			if len(grid) == 0 {
+				t.Fatalf("%v/%s: empty tuple grid", sc, ds)
+			}
+			for i := 1; i < len(grid); i++ {
+				if grid[i] <= grid[i-1] {
+					t.Fatalf("%v/%s: tuple grid not increasing: %v", sc, ds, grid)
+				}
+			}
+			attrs := sc.attrGrid(ds)
+			for _, a := range attrs {
+				if a < 2 || a > 35 {
+					t.Fatalf("%v/%s: bad attr count %d", sc, ds, a)
+				}
+			}
+		}
+		if sc.thresholdRows() <= 0 || sc.exp5Rows() <= 0 || sc.iterativeCap() <= 0 {
+			t.Fatalf("%v: non-positive sizing", sc)
+		}
+	}
+	// Paper grids match the paper's figures.
+	pg := ScalePaper.tupleGrid("flight")
+	if pg[0] != 200_000 || pg[len(pg)-1] != 1_000_000 {
+		t.Errorf("paper flight grid = %v", pg)
+	}
+	ng := ScalePaper.tupleGrid("ncvoter")
+	if ng[0] != 100_000 || ng[len(ng)-1] != 5_000_000 {
+		t.Errorf("paper ncvoter grid = %v", ng)
+	}
+	if ag := ScalePaper.attrGrid("flight"); ag[len(ag)-1] != 35 {
+		t.Errorf("paper flight attr grid = %v", ag)
+	}
+	if ag := ScalePaper.attrGrid("ncvoter"); ag[len(ag)-1] != 30 {
+		t.Errorf("paper ncvoter attr grid = %v", ag)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "longer"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") || !strings.Contains(out, "note: a note") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestProjectQuadratic(t *testing.T) {
+	if got := projectQuadratic(100, time.Second, 200); got != 4*time.Second {
+		t.Errorf("projection = %v, want 4s", got)
+	}
+	if got := projectQuadratic(0, time.Second, 200); got != 0 {
+		t.Errorf("projection with no base = %v, want 0", got)
+	}
+}
+
+// Smoke-run every experiment at tiny scale; sanity-check the shapes that the
+// paper's figures assert.
+func TestExperimentsTinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	var buf bytes.Buffer
+	seed := int64(42)
+
+	t1 := Exp1(&buf, ScaleTiny, seed)
+	if len(t1) != 2 {
+		t.Fatalf("Exp1 tables = %d", len(t1))
+	}
+	for _, tab := range t1 {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("Exp1 table %q empty", tab.Title)
+		}
+	}
+
+	t3 := Exp3(&buf, ScaleTiny, seed)
+	if len(t3) != 2 {
+		t.Fatalf("Exp3 tables = %d", len(t3))
+	}
+	for _, tab := range t3 {
+		if len(tab.Rows) != 6 {
+			t.Fatalf("Exp3 table %q has %d rows, want 6 thresholds", tab.Title, len(tab.Rows))
+		}
+	}
+
+	t4 := Exp4(&buf, ScaleTiny, seed)
+	if len(t4) != 1 || len(t4[0].Rows) < 5 {
+		t.Fatalf("Exp4 table malformed: %+v", t4)
+	}
+
+	t5 := Exp5(&buf, ScaleTiny, seed)
+	if len(t5) != 1 {
+		t.Fatalf("Exp5 tables = %d", len(t5))
+	}
+
+	t6 := Exp6(&buf, ScaleTiny, seed)
+	if len(t6) != 2 {
+		t.Fatalf("Exp6 tables = %d", len(t6))
+	}
+	if len(t6[1].Rows) != 4 {
+		t.Fatalf("Exp6 named AOCs rows = %d, want 4", len(t6[1].Rows))
+	}
+	if buf.Len() == 0 {
+		t.Error("experiments wrote no output")
+	}
+}
+
+func TestExp2TinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	var buf bytes.Buffer
+	t2 := Exp2(&buf, ScaleTiny, 42)
+	if len(t2) != 2 {
+		t.Fatalf("Exp2 tables = %d", len(t2))
+	}
+	for _, tab := range t2 {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("Exp2 table %q rows = %d, want 4", tab.Title, len(tab.Rows))
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aod/internal/core"
+	"aod/internal/dataset"
+	"aod/internal/lattice"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+// Exp1 — Figure 2: scalability in the number of tuples. For each dataset and
+// tuple count it reports the discovery runtime of OD (exact), AOD (optimal)
+// and AOD (iterative, wall-clock capped with quadratic projection), plus the
+// number of OCs/AOCs found (the small numbers printed beside the paper's
+// datapoints).
+func Exp1(w io.Writer, scale Scale, seed int64) []*Table {
+	var tables []*Table
+	for _, ds := range []string{"flight", "ncvoter"} {
+		t := &Table{
+			Title: fmt.Sprintf("Exp-1 (Figure 2) — scalability in |r|, %s, 10 attrs, ε=10%%", ds),
+			Columns: []string{"tuples", "OD time", "#OCs", "AOD(opt) time", "#AOCs",
+				"AOD(iter) time", "#AOCs(iter)"},
+		}
+		lastIterN, lastIterT := 0, time.Duration(0)
+		for _, n := range scale.tupleGrid(ds) {
+			tbl := genTable(ds, n, 10, seed)
+			od := runDiscovery(tbl, core.ValidatorExact, 0, 0)
+			opt := runDiscovery(tbl, core.ValidatorOptimal, 0.10, 0)
+			iter := runDiscovery(tbl, core.ValidatorIterative, 0.10, scale.iterativeCap())
+			iterCell, iterOCs := fmtDur(iter.duration), fmt.Sprintf("%d", len(iter.res.OCs))
+			if iter.timedOut {
+				proj := projectQuadratic(lastIterN, lastIterT, n)
+				iterCell = fmt.Sprintf(">%s (proj %s)", fmtDur(iter.duration), fmtDur(proj))
+				iterOCs = "-"
+			} else {
+				lastIterN, lastIterT = n, iter.duration
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				fmtDur(od.duration), fmt.Sprintf("%d", len(od.res.OCs)),
+				fmtDur(opt.duration), fmt.Sprintf("%d", len(opt.res.OCs)),
+				iterCell, iterOCs,
+			})
+		}
+		t.Notes = append(t.Notes,
+			"paper shape: AOD(optimal) tracks OD; AOD(iterative) grows ~quadratically and times out on large |r|")
+		tables = append(tables, t)
+	}
+	return writeAll(w, tables)
+}
+
+// Exp2 — Figure 3: scalability in the number of attributes at 1K tuples
+// (2K at tiny scale uses 1K too; the paper uses 1K). Log-scale exponential
+// growth is the expected shape.
+func Exp2(w io.Writer, scale Scale, seed int64) []*Table {
+	const rows = 1000
+	var tables []*Table
+	for _, ds := range []string{"flight", "ncvoter"} {
+		t := &Table{
+			Title: fmt.Sprintf("Exp-2 (Figure 3) — scalability in |R|, %s, 1K tuples, ε=10%%", ds),
+			Columns: []string{"attrs", "OD time", "#OCs", "AOD(opt) time", "#AOCs",
+				"AOD(iter) time", "#AOCs(iter)"},
+		}
+		for _, attrs := range scale.attrGrid(ds) {
+			tbl := genTable(ds, rows, attrs, seed)
+			od := runDiscovery(tbl, core.ValidatorExact, 0, 0)
+			opt := runDiscovery(tbl, core.ValidatorOptimal, 0.10, 0)
+			iter := runDiscovery(tbl, core.ValidatorIterative, 0.10, scale.iterativeCap())
+			iterCell := fmtDur(iter.duration)
+			if iter.timedOut {
+				iterCell = ">" + fmtDur(iter.duration)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", attrs),
+				fmtDur(od.duration), fmt.Sprintf("%d", len(od.res.OCs)),
+				fmtDur(opt.duration), fmt.Sprintf("%d", len(opt.res.OCs)),
+				iterCell, fmt.Sprintf("%d", len(iter.res.OCs)),
+			})
+		}
+		t.Notes = append(t.Notes, "paper shape: exponential growth in |R| (log-scale y)")
+		tables = append(tables, t)
+	}
+	return writeAll(w, tables)
+}
+
+// Exp3 — Figure 4: effect of the approximation threshold on 10K tuples.
+// The optimal validator's runtime is flat (or falls, via better pruning);
+// the iterative validator's grows roughly linearly with ε.
+func Exp3(w io.Writer, scale Scale, seed int64) []*Table {
+	rows := scale.thresholdRows()
+	thresholds := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25}
+	var tables []*Table
+	for _, ds := range []string{"flight", "ncvoter"} {
+		t := &Table{
+			Title: fmt.Sprintf("Exp-3 (Figure 4) — threshold sweep, %s, %d tuples", ds, rows),
+			Columns: []string{"ε", "AOD(opt) time", "#AOCs", "opt val-share",
+				"AOD(iter) time", "#AOCs(iter)", "iter val-share"},
+		}
+		tbl := genTable(ds, rows, 10, seed)
+		for _, eps := range thresholds {
+			opt := runDiscovery(tbl, core.ValidatorOptimal, eps, 0)
+			iter := runDiscovery(tbl, core.ValidatorIterative, eps, scale.iterativeCap())
+			iterCell := fmtDur(iter.duration)
+			if iter.timedOut {
+				iterCell = ">" + fmtDur(iter.duration)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f%%", eps*100),
+				fmtDur(opt.duration), fmt.Sprintf("%d", len(opt.res.OCs)),
+				fmt.Sprintf("%.1f%%", opt.res.Stats.ValidationShare()*100),
+				iterCell, fmt.Sprintf("%d", len(iter.res.OCs)),
+				fmt.Sprintf("%.1f%%", iter.res.Stats.ValidationShare()*100),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"paper shape: optimal flat/decreasing in ε; iterative ≈linear in ε; iterative validation share up to 99.6%")
+		tables = append(tables, t)
+	}
+	return writeAll(w, tables)
+}
+
+// Exp4 — removal sets and missed AOCs. Measures, across all OC candidates
+// of the two lowest lattice levels, the removal-set inflation of the greedy
+// validator versus the minimal removal set, the candidates whose
+// overestimate crosses the threshold (lost dependencies), and the
+// discovery-level consequences — including the paper's
+// arrivalDelay ∼ lateAircraftDelay anecdote.
+func Exp4(w io.Writer, scale Scale, seed int64) []*Table {
+	rows := scale.thresholdRows()
+	eps := 0.10
+	tbl := genTable("flight", rows, 10, seed)
+	v := validate.New()
+
+	// Candidate sweep: every pair with the empty context and with each
+	// singleton context (lattice levels 2 and 3) — the populations the
+	// validators see most often during discovery.
+	inflationSum := 0.0
+	inflationCnt, inflated, boundaryLost, candTotal := 0, 0, 0, 0
+	numAttrs := tbl.NumCols()
+	for ctxAttr := -1; ctxAttr < numAttrs; ctxAttr++ {
+		ctx := partition.Universe(tbl.NumRows())
+		if ctxAttr >= 0 {
+			ctx = partition.Single(tbl.Column(ctxAttr))
+		}
+		for a := 0; a < numAttrs; a++ {
+			for b := a + 1; b < numAttrs; b++ {
+				if a == ctxAttr || b == ctxAttr {
+					continue
+				}
+				ro := v.OptimalAOC(ctx, tbl.Column(a), tbl.Column(b),
+					validate.Options{Threshold: 1, ComputeFullError: true})
+				ri := v.IterativeAOC(ctx, tbl.Column(a), tbl.Column(b),
+					validate.Options{Threshold: 1, ComputeFullError: true})
+				candTotal++
+				if ro.Removals > 0 {
+					inflationSum += float64(ri.Removals)/float64(ro.Removals) - 1
+					inflationCnt++
+					if ri.Removals > ro.Removals {
+						inflated++
+					}
+				}
+				if ro.Error <= eps && ri.Error > eps {
+					boundaryLost++
+				}
+			}
+		}
+	}
+	avgInflation := 0.0
+	if inflationCnt > 0 {
+		avgInflation = inflationSum / float64(inflationCnt)
+	}
+
+	// Discovery-level comparison at ε.
+	opt := runDiscovery(tbl, core.ValidatorOptimal, eps, 0)
+	iter := runDiscovery(tbl, core.ValidatorIterative, eps, scale.iterativeCap())
+	iterKeys := make(map[string]bool)
+	for _, oc := range iter.res.OCs {
+		iterKeys[ocKeyOf(oc)] = true
+	}
+	missed := 0
+	for _, oc := range opt.res.OCs {
+		if !iterKeys[ocKeyOf(oc)] {
+			missed++
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Exp-4 — removal sets & missed AOCs, flight, %d tuples, ε=10%%", rows),
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"OC candidates examined (levels 2–3)", fmt.Sprintf("%d", candTotal)},
+			{"avg removal-set inflation (iterative vs minimal)", fmt.Sprintf("%.2f%%", avgInflation*100)},
+			{"candidates with inflated removal sets", fmt.Sprintf("%d", inflated)},
+			{"candidates lost at the ε boundary (e ≤ ε < estimate)", fmt.Sprintf("%d", boundaryLost)},
+			{"AOCs found (optimal discovery)", fmt.Sprintf("%d", len(opt.res.OCs))},
+			{"AOCs found (iterative discovery)", fmt.Sprintf("%d", len(iter.res.OCs))},
+			{"minimal AOCs missed by iterative discovery", fmt.Sprintf("%d", missed)},
+		},
+		Notes: []string{"paper: iterative removal sets ≈1% larger on average; misses up to 2% of valid AOCs"},
+	}
+
+	// Anecdote: the planted arrivalDelay ∼ lateAircraftDelay gadget pair.
+	a := tbl.ColumnIndex("lateAircraftDelay")
+	b := tbl.ColumnIndex("arrivalDelay")
+	if a >= 0 && b >= 0 {
+		ctx := partition.Universe(tbl.NumRows())
+		ro := v.OptimalAOC(ctx, tbl.Column(a), tbl.Column(b),
+			validate.Options{Threshold: 1, ComputeFullError: true})
+		ri := v.IterativeAOC(ctx, tbl.Column(a), tbl.Column(b),
+			validate.Options{Threshold: 1, ComputeFullError: true})
+		t.Rows = append(t.Rows,
+			[]string{"arrivalDelay ∼ lateAircraftDelay true e", fmt.Sprintf("%.2f%%", ro.Error*100)},
+			[]string{"arrivalDelay ∼ lateAircraftDelay iterative e", fmt.Sprintf("%.2f%%", ri.Error*100)},
+		)
+		t.Notes = append(t.Notes,
+			"paper anecdote: true e=9.5% vs iterative 10.5% — the AOC is lost at ε=10% with the greedy validator")
+	}
+	return writeAll(w, []*Table{t})
+}
+
+// Exp5 — Figure 5: number of OCs/AOCs per lattice level on ncvoter with 10
+// attributes, the average-level drop, and the runtime effect of earlier
+// pruning (AOD discovery up to 34%/76% faster than exact OD discovery).
+func Exp5(w io.Writer, scale Scale, seed int64) []*Table {
+	rows := scale.exp5Rows()
+	tbl := genTable("ncvoter", rows, 10, seed)
+	od := runDiscovery(tbl, core.ValidatorExact, 0, 0)
+	opt := runDiscovery(tbl, core.ValidatorOptimal, 0.10, 0)
+
+	t := &Table{
+		Title:   fmt.Sprintf("Exp-5 (Figure 5) — OCs/AOCs per lattice level, ncvoter, %d tuples, 10 attrs", rows),
+		Columns: []string{"level", "#OCs (exact)", "#AOCs (ε=10%)"},
+	}
+	maxLevel := len(od.res.Stats.OCsFoundPerLevel)
+	for lvl := 2; lvl < maxLevel; lvl++ {
+		a := od.res.Stats.OCsFoundPerLevel[lvl]
+		b := opt.res.Stats.OCsFoundPerLevel[lvl]
+		if a == 0 && b == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", lvl), fmt.Sprintf("%d", a), fmt.Sprintf("%d", b)})
+	}
+	speedup := 0.0
+	if od.duration > 0 {
+		speedup = (1 - float64(opt.duration)/float64(od.duration)) * 100
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("avg OC level: exact %.2f → approx %.2f (paper: 5.6 → 4.3)",
+			od.res.Stats.AvgOCLevel(), opt.res.Stats.AvgOCLevel()),
+		fmt.Sprintf("runtime: OD %s vs AOD(opt) %s (AOD %+.0f%% vs OD; paper: up to 34%%/76%% faster)",
+			fmtDur(od.duration), fmtDur(opt.duration), speedup),
+		fmt.Sprintf("early stop: OD=%v AOD=%v; levels processed: OD=%d AOD=%d",
+			od.res.Stats.EarlyStopped, opt.res.Stats.EarlyStopped,
+			od.res.Stats.LevelsProcessed, opt.res.Stats.LevelsProcessed),
+	)
+	return writeAll(w, []*Table{t})
+}
+
+// Exp6 — discovered AOCs compared to exact OCs, including the paper's named
+// examples planted in the generators at their published exception rates.
+func Exp6(w io.Writer, scale Scale, seed int64) []*Table {
+	rows := scale.thresholdRows()
+	var tables []*Table
+
+	counts := &Table{
+		Title:   fmt.Sprintf("Exp-6 — exact OCs vs AOCs found, %d tuples, 10 attrs", rows),
+		Columns: []string{"dataset", "ε", "#OCs (exact)", "#AOCs"},
+	}
+	for _, cfg := range []struct {
+		ds  string
+		eps float64
+	}{{"flight", 0.10}, {"ncvoter", 0.20}} {
+		tbl := genTable(cfg.ds, rows, 10, seed)
+		od := runDiscovery(tbl, core.ValidatorExact, 0, 0)
+		opt := runDiscovery(tbl, core.ValidatorOptimal, cfg.eps, 0)
+		counts.Rows = append(counts.Rows, []string{
+			cfg.ds, fmt.Sprintf("%.0f%%", cfg.eps*100),
+			fmt.Sprintf("%d", len(od.res.OCs)), fmt.Sprintf("%d", len(opt.res.OCs)),
+		})
+	}
+	tables = append(tables, counts)
+
+	named := &Table{
+		Title:   "Exp-6 — the paper's named AOCs (planted at the published rates)",
+		Columns: []string{"dataset", "AOC", "paper e", "measured e"},
+	}
+	v := validate.New()
+	flight := genTable("flight", rows, 10, seed)
+	ncv := genTable("ncvoter", rows, 10, seed)
+	for _, row := range []struct {
+		ds, a, b, paper string
+	}{
+		{"flight", "origin", "originIATA", "8%"},
+		{"flight", "lateAircraftDelay", "arrivalDelay", "9.5%"},
+		{"ncvoter", "municipality", "municipalityAbbrv", "~20%"},
+		{"ncvoter", "streetAddress", "mailAddress", "18%"},
+	} {
+		tbl := flight
+		if row.ds == "ncvoter" {
+			tbl = ncv
+		}
+		ai, bi := tbl.ColumnIndex(row.a), tbl.ColumnIndex(row.b)
+		if ai < 0 || bi < 0 {
+			continue
+		}
+		r := v.OptimalAOC(partition.Universe(tbl.NumRows()), tbl.Column(ai), tbl.Column(bi),
+			validate.Options{Threshold: 1})
+		named.Rows = append(named.Rows, []string{
+			row.ds, row.a + " ∼ " + row.b, row.paper, fmt.Sprintf("%.1f%%", r.Error*100),
+		})
+	}
+	named.Notes = append(named.Notes,
+		"measured e is a minimal removal fraction and sits at or below the planted corruption rate")
+	tables = append(tables, named)
+	return writeAll(w, tables)
+}
+
+// All runs every experiment in order.
+func All(w io.Writer, scale Scale, seed int64) []*Table {
+	var out []*Table
+	out = append(out, Exp1(w, scale, seed)...)
+	out = append(out, Exp2(w, scale, seed)...)
+	out = append(out, Exp3(w, scale, seed)...)
+	out = append(out, Exp4(w, scale, seed)...)
+	out = append(out, Exp5(w, scale, seed)...)
+	out = append(out, Exp6(w, scale, seed)...)
+	return out
+}
+
+func writeAll(w io.Writer, tables []*Table) []*Table {
+	if w != nil {
+		for _, t := range tables {
+			if _, err := t.WriteTo(w); err != nil {
+				panic("bench: " + err.Error())
+			}
+		}
+	}
+	return tables
+}
+
+func ocKeyOf(oc core.OC) string {
+	return fmt.Sprintf("%d|%d|%d", uint64(oc.Context), oc.A, oc.B)
+}
+
+// contextPartition materializes Π_ctx directly from single-column partitions.
+func contextPartition(tbl *dataset.Table, ctx lattice.AttrSet) *partition.Stripped {
+	p := partition.Universe(tbl.NumRows())
+	ctx.ForEach(func(a int) {
+		p = p.Product(partition.Single(tbl.Column(a)))
+	})
+	return p
+}

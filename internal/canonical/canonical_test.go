@@ -1,0 +1,147 @@
+package canonical
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aod/internal/dataset"
+	"aod/internal/lattice"
+	"aod/internal/validate"
+)
+
+// Example 2.13: [A,B] ↦ [C,D] maps to {A,B}: []↦C, {A,B}: []↦D, {}: A∼C,
+// {A}: B∼C, {C}: A∼D, {A,C}: B∼D.
+func TestMapExample213(t *testing.T) {
+	const A, B, C, D = 0, 1, 2, 3
+	m := Map([]int{A, B}, []int{C, D})
+	if len(m.OFDs) != 2 {
+		t.Fatalf("OFDs = %v, want 2", m.OFDs)
+	}
+	wantOFDs := []OFD{
+		{Context: lattice.NewAttrSet(A, B), A: C},
+		{Context: lattice.NewAttrSet(A, B), A: D},
+	}
+	for i, w := range wantOFDs {
+		if m.OFDs[i] != w {
+			t.Errorf("OFD %d = %v, want %v", i, m.OFDs[i], w)
+		}
+	}
+	wantOCs := []OC{
+		{Context: lattice.NewAttrSet(), A: A, B: C},
+		{Context: lattice.NewAttrSet(C), A: A, B: D},
+		{Context: lattice.NewAttrSet(A), A: B, B: C},
+		{Context: lattice.NewAttrSet(A, C), A: B, B: D},
+	}
+	if len(m.OCs) != len(wantOCs) {
+		t.Fatalf("OCs = %v, want %d", m.OCs, len(wantOCs))
+	}
+	got := make(map[string]bool)
+	for _, oc := range m.OCs {
+		got[oc.String()] = true
+	}
+	for _, w := range wantOCs {
+		if !got[w.String()] {
+			t.Errorf("missing OC %v in %v", w, m.OCs)
+		}
+	}
+}
+
+func TestMapSkipsTrivial(t *testing.T) {
+	// Repeated attributes: [A] ↦ [A, B] — the OC A ∼ A is trivial, the OFD
+	// {A}: []↦A is trivial, and the pair (A, B) has context {A} ∋ A, so it
+	// is trivial too: the OD reduces to the single OFD {A}: []↦B (it is
+	// exactly the FD A → B).
+	m := Map([]int{0}, []int{0, 1})
+	if len(m.OFDs) != 1 || m.OFDs[0].A != 1 {
+		t.Errorf("OFDs = %v", m.OFDs)
+	}
+	if len(m.OCs) != 0 {
+		t.Errorf("OCs = %v, want none", m.OCs)
+	}
+	// [A,B] ↦ [B,A]: all canonical OCs trivial (each side enters the other's
+	// prefix or coincides).
+	m = Map([]int{0, 1}, []int{1, 0})
+	if len(m.OFDs) != 0 {
+		t.Errorf("OFDs = %v, want none", m.OFDs)
+	}
+	for _, oc := range m.OCs {
+		if oc.A == oc.B {
+			t.Errorf("trivial OC survived: %v", oc)
+		}
+	}
+}
+
+func TestMapEmptyLists(t *testing.T) {
+	m := Map(nil, []int{2})
+	if len(m.OFDs) != 1 || !m.OFDs[0].Context.IsEmpty() {
+		t.Errorf("[]↦[C]: %v", m)
+	}
+	if len(m.OCs) != 0 {
+		t.Errorf("[]↦[C] OCs = %v", m.OCs)
+	}
+	m = Map([]int{1}, nil)
+	if len(m.OFDs) != 0 || len(m.OCs) != 0 {
+		t.Errorf("[B]↦[]: %v", m)
+	}
+}
+
+// The theory's equivalence, checked empirically: for random small tables and
+// random lists, the canonical route (Holds) must agree exactly with the
+// direct list-based validator.
+func TestCanonicalEquivalenceWithListOD(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	agree, holdCount := 0, 0
+	iters := 400
+	if testing.Short() {
+		iters = 100
+	}
+	for iter := 0; iter < iters; iter++ {
+		rows := 2 + rng.Intn(16)
+		attrs := 2 + rng.Intn(3)
+		b := dataset.NewBuilder()
+		for c := 0; c < attrs; c++ {
+			vals := make([]int64, rows)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(2 + rng.Intn(4)))
+			}
+			b.AddInts(fmt.Sprintf("c%d", c), vals)
+		}
+		tbl, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random lists (with possible repetitions across X and Y).
+		x := randomList(rng, attrs)
+		y := randomList(rng, attrs)
+		direct, _ := validate.ExactListOD(tbl, x, y)
+		viaCanonical := Holds(tbl, x, y)
+		if direct != viaCanonical {
+			t.Fatalf("iter %d: X=%v Y=%v: direct=%v canonical=%v", iter, x, y, direct, viaCanonical)
+		}
+		agree++
+		if direct {
+			holdCount++
+		}
+	}
+	if holdCount == 0 {
+		t.Error("no OD held in any instance; test workload too adversarial")
+	}
+	if holdCount == agree {
+		t.Error("every OD held; test workload too permissive")
+	}
+}
+
+func randomList(rng *rand.Rand, attrs int) []int {
+	n := 1 + rng.Intn(2)
+	perm := rng.Perm(attrs)
+	return perm[:n]
+}
+
+func TestMappingString(t *testing.T) {
+	m := Map([]int{0}, []int{1})
+	s := m.String()
+	if s == "" {
+		t.Error("empty mapping string")
+	}
+}

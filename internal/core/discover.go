@@ -1,0 +1,359 @@
+package core
+
+import (
+	"time"
+
+	"aod/internal/dataset"
+	"aod/internal/lattice"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+// Discover runs the level-wise discovery framework over the table and
+// returns the complete, minimal set of verified dependencies under the
+// configured validator and threshold (see the package comment for the exact
+// semantics and caveats of the iterative validator).
+func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
+	numAttrs := tbl.NumCols()
+	if err := cfg.Validate(numAttrs); err != nil {
+		return nil, err
+	}
+	eng := &engine{
+		tbl:      tbl,
+		cfg:      cfg,
+		eps:      cfg.effectiveThreshold(),
+		numAttrs: numAttrs,
+		v:        validate.New(),
+		start:    time.Now(),
+	}
+	if cfg.UseSortedScan && cfg.Validator == ValidatorExact {
+		eng.orders = validate.NewTableOrders(tbl)
+	}
+	res := eng.run()
+	res.Stats.TotalTime = time.Since(eng.start)
+	res.Stats.Rows = tbl.NumRows()
+	res.Stats.Attrs = numAttrs
+	return res, nil
+}
+
+type engine struct {
+	tbl      *dataset.Table
+	cfg      Config
+	eps      float64
+	numAttrs int
+	v        *validate.Validator
+	singles  []*partition.Stripped
+	orders   *validate.TableOrders // non-nil only under UseSortedScan
+	start    time.Time
+	deadline time.Time
+	res      *Result
+}
+
+func (e *engine) run() *Result {
+	e.res = &Result{}
+	st := &e.res.Stats
+	st.OCsFoundPerLevel = make([]int, e.numAttrs+1)
+	st.OFDsFoundPerLevel = make([]int, e.numAttrs+1)
+	if e.cfg.TimeLimit > 0 {
+		e.deadline = e.start.Add(e.cfg.TimeLimit)
+	}
+
+	t0 := time.Now()
+	e.singles = make([]*partition.Stripped, e.numAttrs)
+	for a := 0; a < e.numAttrs; a++ {
+		e.singles[a] = partition.Single(e.tbl.Column(a))
+	}
+	st.PartitionTime += time.Since(t0)
+
+	l0 := lattice.Level0(e.tbl.NumRows(), e.numAttrs)
+	l1 := lattice.Level1(l0, e.tbl, e.singles)
+
+	maxLevel := e.numAttrs
+	if e.cfg.MaxLevel > 0 && e.cfg.MaxLevel < maxLevel {
+		maxLevel = e.cfg.MaxLevel
+	}
+
+	// Level 1: OFD candidates with the empty context.
+	prev2, prev := (*lattice.Level)(nil), l0
+	cur := l1
+	for cur.Number <= maxLevel && len(cur.Nodes) > 0 {
+		st.LevelsProcessed++
+		candidates := 0
+		for _, node := range cur.Nodes {
+			if e.timedOut() {
+				st.TimedOut = true
+				return e.res
+			}
+			st.NodesProcessed++
+			candidates += e.processNode(node, prev, prev2)
+		}
+		// A candidate-free level stays candidate-free at every deeper level
+		// (validity state is upward-closed), so discovery can stop: this is
+		// the early termination that makes AOD discovery faster than exact
+		// OD discovery when dependencies concentrate at low levels (Exp-5).
+		if candidates == 0 {
+			st.EarlyStopped = cur.Number < maxLevel
+			break
+		}
+		if cur.Number == maxLevel {
+			break
+		}
+		next := lattice.NextLevel(cur, e.numAttrs)
+		if !e.cfg.KeepPartitions && prev2 != nil {
+			for _, n := range prev2.Nodes {
+				n.ReleasePartition()
+			}
+		}
+		prev2, prev, cur = prev, cur, next
+	}
+	return e.res
+}
+
+func (e *engine) timedOut() bool {
+	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+}
+
+// processNode examines all candidates hosted at the node: OFDs
+// (Set\{D}): [] ↦ D for D ∈ Set, and OCs (Set\{A,B}): A ∼ B for pairs
+// {A,B} ⊆ Set. It returns the number of candidates validated (for the
+// early-stop rule).
+func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.Level) int {
+	st := &e.res.Stats
+	candidates := 0
+
+	// --- Propagate validity state from parents. ------------------------
+	if e.cfg.Bidirectional && node.OCValidDesc == nil {
+		node.OCValidDesc = lattice.NewPairSet(e.numAttrs)
+	}
+	var propagatedConst lattice.AttrSet
+	node.Set.ForEach(func(c int) {
+		if p := parents.Lookup(node.Set.Remove(c)); p != nil {
+			propagatedConst = propagatedConst.Union(p.ConstValid)
+			node.OCValid.UnionWith(p.OCValid)
+			if node.OCValidDesc != nil && p.OCValidDesc != nil {
+				node.OCValidDesc.UnionWith(p.OCValidDesc)
+			}
+		}
+	})
+	node.ConstValid = propagatedConst
+
+	// --- OFD candidates. -------------------------------------------------
+	attrs := node.Set.Attrs()
+	for _, d := range attrs {
+		if propagatedConst.Has(d) {
+			// A strict sub-context already has a valid OFD for d: any OFD
+			// here is valid but non-minimal. Skip validation entirely —
+			// unless the pruning ablation wants the cost measured.
+			st.OFDSkipped++
+			if e.cfg.DisablePruning {
+				parent := parents.Lookup(node.Set.Remove(d))
+				ctx := e.materialize(parent)
+				st.OFDCandidates++
+				candidates++
+				t0 := time.Now()
+				e.validateOFD(ctx, e.tbl.Column(d))
+				st.ValidationTime += time.Since(t0)
+			}
+			continue
+		}
+		parent := parents.Lookup(node.Set.Remove(d))
+		ctx := e.materialize(parent)
+		st.OFDCandidates++
+		candidates++
+		t0 := time.Now()
+		r := e.validateOFD(ctx, e.tbl.Column(d))
+		st.ValidationTime += time.Since(t0)
+		if r.Valid {
+			node.ConstValid = node.ConstValid.Add(d)
+			st.OFDsFoundPerLevel[node.Level]++
+			if e.cfg.IncludeOFDs {
+				ofd := OFD{
+					Context:  node.Set.Remove(d),
+					A:        d,
+					Error:    r.Error,
+					Removals: r.Removals,
+					Level:    node.Level,
+					Score:    Score(node.Level-1, r.Error),
+				}
+				if e.cfg.CollectRemovalSets {
+					full := e.v.ApproxOFD(ctx, e.tbl.Column(d),
+						validate.Options{Threshold: e.eps, CollectRemovals: true})
+					ofd.RemovalRows = full.RemovalRows
+				}
+				e.res.OFDs = append(e.res.OFDs, ofd)
+			}
+		}
+	}
+
+	// --- OC candidates (levels >= 2). -------------------------------------
+	if node.Level < 2 {
+		return candidates
+	}
+	directions := []bool{false}
+	if e.cfg.Bidirectional {
+		directions = []bool{false, true}
+	}
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			a, b := attrs[i], attrs[j]
+			for _, desc := range directions {
+				validSet := node.OCValid
+				if desc {
+					validSet = node.OCValidDesc
+				}
+				skip := false
+				if validSet.Has(a, b) {
+					// Valid in a sub-context: non-minimal here and
+					// everywhere above (minimality pruning).
+					st.OCSkippedMinimality++
+					skip = true
+				} else {
+					pa := parents.Lookup(node.Set.Remove(b)) // contains a
+					pb := parents.Lookup(node.Set.Remove(a))
+					if pa.ConstValid.Has(a) || pb.ConstValid.Has(b) {
+						// Constancy of a side within the OC's context (or a
+						// subset) trivializes the OC in both directions
+						// (e_OC ≤ e_OFD); never minimal.
+						st.OCSkippedConstancy++
+						skip = true
+					}
+				}
+				if skip {
+					if e.cfg.DisablePruning {
+						gp := grandparents.Lookup(node.Set.Remove(a).Remove(b))
+						ctx := e.materialize(gp)
+						st.OCCandidates++
+						candidates++
+						t0 := time.Now()
+						e.validateOCAt(gp, ctx, a, b, desc)
+						st.ValidationTime += time.Since(t0)
+					}
+					continue
+				}
+				gp := grandparents.Lookup(node.Set.Remove(a).Remove(b))
+				ctx := e.materialize(gp)
+				st.OCCandidates++
+				candidates++
+				t0 := time.Now()
+				if e.sampleRejects(ctx, a, b, desc) {
+					st.OCSampledRejected++
+					st.ValidationTime += time.Since(t0)
+					continue
+				}
+				r := e.validateOCAt(gp, ctx, a, b, desc)
+				st.ValidationTime += time.Since(t0)
+				if r.Valid {
+					validSet.Add(a, b)
+					st.OCsFoundPerLevel[node.Level]++
+					oc := OC{
+						Context:    node.Set.Remove(a).Remove(b),
+						A:          a,
+						B:          b,
+						Descending: desc,
+						Error:      r.Error,
+						Removals:   r.Removals,
+						Level:      node.Level,
+						Score:      Score(node.Level-2, r.Error),
+					}
+					if e.cfg.CollectRemovalSets {
+						oc.RemovalRows = e.collectOCRemovals(ctx, a, b, desc)
+					}
+					e.res.OCs = append(e.res.OCs, oc)
+				}
+			}
+		}
+	}
+	return candidates
+}
+
+// columnB returns the B column in the requested direction.
+func (e *engine) columnB(b int, desc bool) *dataset.Column {
+	if desc {
+		return e.tbl.Column(b).Reversed()
+	}
+	return e.tbl.Column(b)
+}
+
+func (e *engine) materialize(node *lattice.Node) *partition.Stripped {
+	if node.HasPartition() {
+		return node.Partition(e.singles)
+	}
+	t0 := time.Now()
+	p := node.Partition(e.singles)
+	e.res.Stats.PartitionTime += time.Since(t0)
+	return p
+}
+
+// sampleMinRows is the smallest non-singleton context coverage for which the
+// hybrid-sampling pre-filter is worth running.
+const sampleMinRows = 512
+
+// sampleRejects applies the hybrid-sampling pre-filter: true means the
+// candidate's sampled error estimate is so far above the threshold that full
+// validation is skipped.
+func (e *engine) sampleRejects(ctx *partition.Stripped, a, b int, desc bool) bool {
+	if e.cfg.SampleStride <= 1 || e.cfg.Validator == ValidatorExact {
+		return false
+	}
+	if ctx.Size() < sampleMinRows {
+		return false
+	}
+	slack := e.cfg.SampleSlack
+	if slack == 0 {
+		slack = 0.05
+	}
+	est, sampled := e.v.SampledAOCEstimate(ctx, e.tbl.Column(a), e.columnB(b, desc), e.cfg.SampleStride)
+	if sampled == 0 {
+		return false
+	}
+	return est > e.eps+slack
+}
+
+func (e *engine) validateOFD(ctx *partition.Stripped, col *dataset.Column) validate.Result {
+	if e.cfg.Validator == ValidatorExact {
+		if validate.ExactOFD(ctx, col) {
+			return validate.Result{Valid: true}
+		}
+		return validate.Result{Valid: false, Aborted: true}
+	}
+	return e.v.ApproxOFD(ctx, col, validate.Options{Threshold: e.eps})
+}
+
+// validateOCAt validates the OC candidate with context node gp (whose
+// partition is ctx) over attributes a and b (B descending when desc),
+// routing to the configured validator — including the sorted-scan exact
+// route when enabled.
+func (e *engine) validateOCAt(gp *lattice.Node, ctx *partition.Stripped, a, b int, desc bool) validate.Result {
+	cb := e.columnB(b, desc)
+	if e.orders != nil && e.cfg.Validator == ValidatorExact {
+		ids := gp.ClassIDs(e.singles)
+		ok, _ := e.v.ExactOCScan(ids, ctx.NumClasses(), e.orders.Order(a),
+			e.tbl.Column(a), cb)
+		return validate.Result{Valid: ok, Aborted: !ok}
+	}
+	return e.validateOC(ctx, e.tbl.Column(a), cb)
+}
+
+func (e *engine) validateOC(ctx *partition.Stripped, a, b *dataset.Column) validate.Result {
+	switch e.cfg.Validator {
+	case ValidatorExact:
+		if ok, _ := e.v.ExactOC(ctx, a, b); ok {
+			return validate.Result{Valid: true}
+		}
+		return validate.Result{Valid: false, Aborted: true}
+	case ValidatorIterative:
+		return e.v.IterativeAOC(ctx, a, b, validate.Options{Threshold: e.eps})
+	default:
+		return e.v.OptimalAOC(ctx, a, b, validate.Options{Threshold: e.eps})
+	}
+}
+
+// collectOCRemovals re-validates a verified OC with removal collection. The
+// optimal validator is used even under the iterative configuration — once a
+// dependency is deemed valid, the minimal removal set is the useful artifact
+// for repair.
+func (e *engine) collectOCRemovals(ctx *partition.Stripped, a, b int, desc bool) []int32 {
+	r := e.v.OptimalAOC(ctx, e.tbl.Column(a), e.columnB(b, desc),
+		validate.Options{Threshold: 1, CollectRemovals: true})
+	return r.RemovalRows
+}

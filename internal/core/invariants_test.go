@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"aod/internal/gen"
+	"aod/internal/validate"
+)
+
+// TestOutputInvariantsOnGeneratedData checks the result-set invariants that
+// the differential tests pin on small tables, at generator scale where the
+// exponential reference is infeasible: validity of every reported error,
+// pairwise minimality, and constancy non-trivialization.
+func TestOutputInvariantsOnGeneratedData(t *testing.T) {
+	workloads := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flight-optimal", Config{Threshold: 0.10, Validator: ValidatorOptimal, IncludeOFDs: true}},
+		{"ncvoter-optimal", Config{Threshold: 0.20, Validator: ValidatorOptimal, IncludeOFDs: true}},
+		{"flight-bidirectional", Config{Threshold: 0.10, Validator: ValidatorOptimal, IncludeOFDs: true, Bidirectional: true}},
+	}
+	v := validate.New()
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			tbl := gen.Flight(gen.FlightConfig{Rows: 2000, Attrs: 8, Seed: 9})
+			if w.name == "ncvoter-optimal" {
+				tbl = gen.NCVoter(gen.NCVoterConfig{Rows: 2000, Attrs: 8, Seed: 9})
+			}
+			res, err := Discover(tbl, w.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.OCs) == 0 {
+				t.Fatal("workload found no OCs; invariants vacuous")
+			}
+			// 1. Errors are true minimal errors within threshold.
+			for _, oc := range res.OCs {
+				if oc.Error > w.cfg.Threshold+1e-12 {
+					t.Errorf("OC %v exceeds threshold", oc)
+				}
+				ctx := contextPartition(tbl, oc.Context)
+				cb := tbl.Column(oc.B)
+				if oc.Descending {
+					cb = cb.Reversed()
+				}
+				r := v.OptimalAOC(ctx, tbl.Column(oc.A), cb,
+					validate.Options{Threshold: 1, ComputeFullError: true})
+				if math.Abs(r.Error-oc.Error) > 1e-9 {
+					t.Errorf("OC %v: recomputed e=%.6f != reported %.6f", oc, r.Error, oc.Error)
+				}
+			}
+			// 2. Pairwise minimality: no OC subsumed by another on the same
+			// directed pair with a sub-context.
+			for i, a := range res.OCs {
+				for j, b := range res.OCs {
+					if i == j || a.A != b.A || a.B != b.B || a.Descending != b.Descending {
+						continue
+					}
+					if a.Context != b.Context && b.Context.Contains(a.Context) {
+						t.Errorf("OC %v subsumes reported OC %v", a, b)
+					}
+				}
+			}
+			// 3. No reported OC is trivialized by a reported OFD on either
+			// side with a context contained in the OC's.
+			for _, oc := range res.OCs {
+				for _, ofd := range res.OFDs {
+					if (ofd.A == oc.A || ofd.A == oc.B) && oc.Context.Contains(ofd.Context) {
+						t.Errorf("OC %v trivialized by reported OFD %v", oc, ofd)
+					}
+				}
+			}
+			// 4. OFD minimality.
+			for i, a := range res.OFDs {
+				for j, b := range res.OFDs {
+					if i == j || a.A != b.A {
+						continue
+					}
+					if a.Context != b.Context && b.Context.Contains(a.Context) {
+						t.Errorf("OFD %v subsumes reported OFD %v", a, b)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"aod/internal/dataset"
+	"aod/internal/lattice"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+// DiscoverParallel runs the same discovery as Discover but validates the
+// candidates of each lattice level concurrently across a worker pool. This
+// is the shared-memory analogue of the distributed extension the paper lists
+// as future work (after Saxena, Golab & Ilyas, PVLDB 2019 — reference [8]):
+// nodes of a level are independent given the previous level's state, so they
+// partition cleanly across workers.
+//
+// The result is identical to Discover's (the merge re-establishes the
+// sequential deterministic order); only wall-clock time differs. workers <= 0
+// selects GOMAXPROCS.
+func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, error) {
+	numAttrs := tbl.NumCols()
+	if err := cfg.Validate(numAttrs); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Discover(tbl, cfg)
+	}
+	start := time.Now()
+	eps := cfg.effectiveThreshold()
+
+	res := &Result{}
+	st := &res.Stats
+	st.OCsFoundPerLevel = make([]int, numAttrs+1)
+	st.OFDsFoundPerLevel = make([]int, numAttrs+1)
+	var deadline time.Time
+	if cfg.TimeLimit > 0 {
+		deadline = start.Add(cfg.TimeLimit)
+	}
+
+	singles := make([]*partition.Stripped, numAttrs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for a := 0; a < numAttrs; a++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a int) {
+			defer wg.Done()
+			singles[a] = partition.Single(tbl.Column(a))
+			<-sem
+		}(a)
+	}
+	wg.Wait()
+
+	l0 := lattice.Level0(tbl.NumRows(), numAttrs)
+	cur := lattice.Level1(l0, tbl, singles)
+	prev2, prev := (*lattice.Level)(nil), l0
+	maxLevel := numAttrs
+	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxLevel {
+		maxLevel = cfg.MaxLevel
+	}
+
+	for cur.Number <= maxLevel && len(cur.Nodes) > 0 {
+		st.LevelsProcessed++
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			st.TimedOut = true
+			break
+		}
+		// Phase 1: materialize this level's parent partitions sequentially
+		// safe — every node's Partition() only writes to itself once its
+		// parents are materialized, and parents live on already-complete
+		// levels. Parallel per node.
+		materializeLevel(prev, singles, workers)
+
+		// Phase 2: validate candidates of all nodes concurrently. Each
+		// worker owns a validator; per-node outputs are merged in node
+		// order afterwards to preserve the sequential result order.
+		type nodeOut struct {
+			ocs        []OC
+			ofds       []OFD
+			candidates int
+			stats      Stats
+		}
+		outs := make([]nodeOut, len(cur.Nodes))
+		jobs := make(chan int)
+		var wg2 sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg2.Add(1)
+			go func() {
+				defer wg2.Done()
+				eng := &engine{
+					tbl:      tbl,
+					cfg:      cfg,
+					eps:      eps,
+					numAttrs: numAttrs,
+					v:        validate.New(),
+					singles:  singles,
+					start:    start,
+				}
+				for idx := range jobs {
+					eng.res = &Result{}
+					eng.res.Stats.OCsFoundPerLevel = make([]int, numAttrs+1)
+					eng.res.Stats.OFDsFoundPerLevel = make([]int, numAttrs+1)
+					c := eng.processNode(cur.Nodes[idx], prev, prev2)
+					outs[idx] = nodeOut{
+						ocs:        eng.res.OCs,
+						ofds:       eng.res.OFDs,
+						candidates: c,
+						stats:      eng.res.Stats,
+					}
+				}
+			}()
+		}
+		for idx := range cur.Nodes {
+			jobs <- idx
+		}
+		close(jobs)
+		wg2.Wait()
+
+		candidates := 0
+		for idx := range outs {
+			o := &outs[idx]
+			res.OCs = append(res.OCs, o.ocs...)
+			res.OFDs = append(res.OFDs, o.ofds...)
+			candidates += o.candidates
+			st.NodesProcessed++
+			st.OCCandidates += o.stats.OCCandidates
+			st.OFDCandidates += o.stats.OFDCandidates
+			st.OCSkippedMinimality += o.stats.OCSkippedMinimality
+			st.OCSkippedConstancy += o.stats.OCSkippedConstancy
+			st.OFDSkipped += o.stats.OFDSkipped
+			st.ValidationTime += o.stats.ValidationTime
+			st.PartitionTime += o.stats.PartitionTime
+			for lvl := range o.stats.OCsFoundPerLevel {
+				st.OCsFoundPerLevel[lvl] += o.stats.OCsFoundPerLevel[lvl]
+			}
+			for lvl := range o.stats.OFDsFoundPerLevel {
+				st.OFDsFoundPerLevel[lvl] += o.stats.OFDsFoundPerLevel[lvl]
+			}
+		}
+		if candidates == 0 {
+			st.EarlyStopped = cur.Number < maxLevel
+			break
+		}
+		if cur.Number == maxLevel {
+			break
+		}
+		next := lattice.NextLevel(cur, numAttrs)
+		if !cfg.KeepPartitions && prev2 != nil {
+			for _, n := range prev2.Nodes {
+				n.ReleasePartition()
+			}
+		}
+		prev2, prev, cur = prev, cur, next
+	}
+	st.TotalTime = time.Since(start)
+	st.Rows = tbl.NumRows()
+	st.Attrs = numAttrs
+	return res, nil
+}
+
+// materializeLevel ensures every node of the level has its partition, in
+// parallel. Safe because parents' partitions are materialized first (they
+// belong to an earlier, already-materialized level), so each goroutine only
+// writes its own node.
+func materializeLevel(lvl *lattice.Level, singles []*partition.Stripped, workers int) {
+	if lvl == nil {
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan *lattice.Node)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range jobs {
+				n.Partition(singles)
+			}
+		}()
+	}
+	for _, n := range lvl.Nodes {
+		jobs <- n
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// sortCanonical orders dependencies in the engine's sequential discovery
+// order (level, context bitmask, attrs); used by tests to compare parallel
+// and sequential results.
+func (r *Result) sortCanonical() {
+	sort.Slice(r.OCs, func(i, j int) bool {
+		if r.OCs[i].Level != r.OCs[j].Level {
+			return r.OCs[i].Level < r.OCs[j].Level
+		}
+		si := r.OCs[i].Context.Add(r.OCs[i].A).Add(r.OCs[i].B)
+		sj := r.OCs[j].Context.Add(r.OCs[j].A).Add(r.OCs[j].B)
+		if si != sj {
+			return si < sj
+		}
+		if r.OCs[i].A != r.OCs[j].A {
+			return r.OCs[i].A < r.OCs[j].A
+		}
+		if r.OCs[i].B != r.OCs[j].B {
+			return r.OCs[i].B < r.OCs[j].B
+		}
+		return !r.OCs[i].Descending && r.OCs[j].Descending
+	})
+	sort.Slice(r.OFDs, func(i, j int) bool {
+		if r.OFDs[i].Level != r.OFDs[j].Level {
+			return r.OFDs[i].Level < r.OFDs[j].Level
+		}
+		si := r.OFDs[i].Context.Add(r.OFDs[i].A)
+		sj := r.OFDs[j].Context.Add(r.OFDs[j].A)
+		if si != sj {
+			return si < sj
+		}
+		return r.OFDs[i].A < r.OFDs[j].A
+	})
+}
+
+// SortCanonical exposes the canonical (level, node, attrs) ordering.
+func (r *Result) SortCanonical() { r.sortCanonical() }

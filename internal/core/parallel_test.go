@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for iter := 0; iter < 25; iter++ {
+		rows := 10 + rng.Intn(60)
+		attrs := 3 + rng.Intn(4)
+		tbl := randomTable(rng, rows, attrs, 2+rng.Intn(4))
+		for _, vk := range []ValidatorKind{ValidatorExact, ValidatorOptimal, ValidatorIterative} {
+			cfg := Config{Threshold: 0.15, Validator: vk, IncludeOFDs: true}
+			seq, err := Discover(tbl, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := DiscoverParallel(tbl, cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq.SortCanonical()
+			par.SortCanonical()
+			if len(seq.OCs) != len(par.OCs) || len(seq.OFDs) != len(par.OFDs) {
+				t.Fatalf("iter %d %v: parallel %d/%d vs sequential %d/%d OCs/OFDs",
+					iter, vk, len(par.OCs), len(par.OFDs), len(seq.OCs), len(seq.OFDs))
+			}
+			for i := range seq.OCs {
+				a, b := seq.OCs[i], par.OCs[i]
+				if a.Context != b.Context || a.A != b.A || a.B != b.B || a.Error != b.Error {
+					t.Fatalf("iter %d %v: OC %d differs: %v vs %v", iter, vk, i, a, b)
+				}
+			}
+			for i := range seq.OFDs {
+				a, b := seq.OFDs[i], par.OFDs[i]
+				if a.Context != b.Context || a.A != b.A || a.Error != b.Error {
+					t.Fatalf("iter %d %v: OFD %d differs: %v vs %v", iter, vk, i, a, b)
+				}
+			}
+			if seq.Stats.OCCandidates != par.Stats.OCCandidates ||
+				seq.Stats.OFDCandidates != par.Stats.OFDCandidates {
+				t.Fatalf("iter %d %v: candidate counts differ: %d/%d vs %d/%d",
+					iter, vk, par.Stats.OCCandidates, par.Stats.OFDCandidates,
+					seq.Stats.OCCandidates, seq.Stats.OFDCandidates)
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	tbl := paperTable1(t)
+	cfg := Config{Threshold: 0.12, Validator: ValidatorOptimal, IncludeOFDs: true}
+	r, err := DiscoverParallel(tbl, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Discover(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.OCs) != len(s.OCs) {
+		t.Errorf("workers=1: %d OCs vs %d", len(r.OCs), len(s.OCs))
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	tbl := paperTable1(t)
+	r, err := DiscoverParallel(tbl, Config{Threshold: 0.12, Validator: ValidatorOptimal}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.OCs) == 0 {
+		t.Error("no OCs found with default workers")
+	}
+}
+
+func TestParallelConfigError(t *testing.T) {
+	tbl := paperTable1(t)
+	if _, err := DiscoverParallel(tbl, Config{Threshold: -1}, 4); err == nil {
+		t.Error("want config error")
+	}
+}
+
+func TestParallelOnGeneratedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	tbl := randomTable(rng, 500, 6, 4)
+	cfg := Config{Threshold: 0.1, Validator: ValidatorOptimal, IncludeOFDs: true, CollectRemovalSets: true}
+	seq, err := Discover(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DiscoverParallel(tbl, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.SortCanonical()
+	par.SortCanonical()
+	if len(seq.OCs) != len(par.OCs) {
+		t.Fatalf("OC counts differ: %d vs %d", len(seq.OCs), len(par.OCs))
+	}
+	for i := range seq.OCs {
+		if len(seq.OCs[i].RemovalRows) != len(par.OCs[i].RemovalRows) {
+			t.Fatalf("removal sets differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aod/internal/gen"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+func TestSampledEstimateTracksTrueError(t *testing.T) {
+	v := validate.New()
+	for _, frac := range []float64{0, 0.05, 0.10, 0.20} {
+		tbl := gen.CorrelatedPair(20_000, frac, 5)
+		ctx := partition.Universe(tbl.NumRows())
+		full := v.OptimalAOC(ctx, tbl.Column(0), tbl.Column(1), validate.Options{Threshold: 1})
+		est, sampled := v.SampledAOCEstimate(ctx, tbl.Column(0), tbl.Column(1), 8)
+		if sampled == 0 {
+			t.Fatalf("frac=%.2f: empty sample", frac)
+		}
+		if math.Abs(est-full.Error) > 0.05 {
+			t.Errorf("frac=%.2f: estimate %.4f vs true %.4f (diff > 0.05)", frac, est, full.Error)
+		}
+	}
+}
+
+func TestSampledEstimateStrideOne(t *testing.T) {
+	v := validate.New()
+	tbl := gen.CorrelatedPair(5000, 0.1, 6)
+	ctx := partition.Universe(tbl.NumRows())
+	full := v.OptimalAOC(ctx, tbl.Column(0), tbl.Column(1), validate.Options{Threshold: 1})
+	est, _ := v.SampledAOCEstimate(ctx, tbl.Column(0), tbl.Column(1), 1)
+	if math.Abs(est-full.Error) > 1e-9 {
+		t.Errorf("stride 1 estimate %.6f != true %.6f", est, full.Error)
+	}
+	// Stride below 1 clamps to 1.
+	est0, _ := v.SampledAOCEstimate(ctx, tbl.Column(0), tbl.Column(1), 0)
+	if math.Abs(est0-full.Error) > 1e-9 {
+		t.Errorf("stride 0 estimate %.6f != true %.6f", est0, full.Error)
+	}
+}
+
+func TestHybridSamplingKeepsPlantedDependencies(t *testing.T) {
+	tbl := gen.Flight(gen.FlightConfig{Rows: 8000, Attrs: 8, Seed: 7})
+	base := Config{Threshold: 0.10, Validator: ValidatorOptimal}
+	full, err := Discover(tbl, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := base
+	sampled.SampleStride = 8
+	hyb, err := Discover(tbl, sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.Stats.OCSampledRejected == 0 {
+		t.Error("expected some sampled rejections on this workload")
+	}
+	// Every OC found by the hybrid run must be in the full run (soundness:
+	// full validation gates acceptance)...
+	fullSet := ocSet(full)
+	for k := range ocSet(hyb) {
+		if _, ok := fullSet[k]; !ok {
+			t.Errorf("hybrid reported OC %v not in full result", k)
+		}
+	}
+	// ...and with the default slack, the planted headline dependencies must
+	// survive the pre-filter.
+	origin, iata := tbl.ColumnIndex("origin"), tbl.ColumnIndex("originIATA")
+	found := false
+	for _, oc := range hyb.OCs {
+		if oc.Context.IsEmpty() && oc.A == min(origin, iata) && oc.B == max(origin, iata) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hybrid sampling lost the planted origin ∼ originIATA dependency")
+	}
+}
+
+func TestHybridSamplingIgnoredForExact(t *testing.T) {
+	tbl := paperTable1(t)
+	cfg := Config{Validator: ValidatorExact, SampleStride: 4}
+	r, err := Discover(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.OCSampledRejected != 0 {
+		t.Error("exact validator must not sample")
+	}
+}
+
+func TestDisablePruningSameResultsMoreWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	for iter := 0; iter < 15; iter++ {
+		tbl := randomTable(rng, 10+rng.Intn(30), 4, 3)
+		base := Config{Threshold: 0.2, Validator: ValidatorOptimal, IncludeOFDs: true}
+		pruned, err := Discover(tbl, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abl := base
+		abl.DisablePruning = true
+		unpruned, err := Discover(tbl, abl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ocSet(pruned)) != len(ocSet(unpruned)) || len(ofdSet(pruned)) != len(ofdSet(unpruned)) {
+			t.Fatalf("iter %d: ablation changed results: %d/%d vs %d/%d OCs/OFDs",
+				iter, len(unpruned.OCs), len(unpruned.OFDs), len(pruned.OCs), len(pruned.OFDs))
+		}
+		if unpruned.Stats.OCCandidates < pruned.Stats.OCCandidates ||
+			unpruned.Stats.OFDCandidates < pruned.Stats.OFDCandidates {
+			t.Fatalf("iter %d: ablation should validate at least as many candidates", iter)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Discovery with the sorted-scan exact validator must produce exactly the
+// same dependencies as the default sort-based route.
+func TestSortedScanDiscoveryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	for iter := 0; iter < 30; iter++ {
+		tbl := randomTable(rng, 5+rng.Intn(40), 2+rng.Intn(4), 2+rng.Intn(4))
+		base := Config{Validator: ValidatorExact, IncludeOFDs: true}
+		std, err := Discover(tbl, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanCfg := base
+		scanCfg.UseSortedScan = true
+		scan, err := Discover(tbl, scanCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, w := ocSet(scan), ocSet(std)
+		if len(g) != len(w) {
+			t.Fatalf("iter %d: scan %d OCs vs sort %d", iter, len(g), len(w))
+		}
+		for k := range w {
+			if _, ok := g[k]; !ok {
+				t.Fatalf("iter %d: scan missing OC %v", iter, k)
+			}
+		}
+		if len(ofdSet(scan)) != len(ofdSet(std)) {
+			t.Fatalf("iter %d: OFD counts differ", iter)
+		}
+	}
+}
+
+// UseSortedScan must be a no-op under the approximate validators.
+func TestSortedScanIgnoredForApproximate(t *testing.T) {
+	tbl := paperTable1(t)
+	cfg := Config{Validator: ValidatorOptimal, Threshold: 0.12, UseSortedScan: true}
+	withScan, err := Discover(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseSortedScan = false
+	without, err := Discover(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withScan.OCs) != len(without.OCs) {
+		t.Errorf("scan flag changed approximate results: %d vs %d", len(withScan.OCs), len(without.OCs))
+	}
+}

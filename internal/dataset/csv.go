@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSVOptions controls CSV parsing.
+type CSVOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// MaxRows limits the number of data rows read; 0 means unlimited.
+	MaxRows int
+	// Columns, when non-empty, restricts parsing to the named header columns.
+	Columns []string
+	// NoHeader indicates the first record is data; columns are then named
+	// col0, col1, ...
+	NoHeader bool
+}
+
+// ReadCSV parses CSV data into a Table, inferring each column's type:
+// a column is KindInt if every value parses as int64, else KindFloat if every
+// value parses as float64, else KindString. Empty fields are typed as strings
+// unless the whole column is empty-or-numeric, in which case empties become
+// the minimum sentinel (they parse as strings; a column containing any empty
+// field falls back to KindString so that missing data keeps a stable order).
+func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+
+	var header []string
+	if !opts.NoHeader {
+		rec, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		}
+		header = append(header, rec...)
+	}
+
+	var raw [][]string // column-major
+	var names []string
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", rows+1, err)
+		}
+		if names == nil {
+			if header == nil {
+				header = make([]string, len(rec))
+				for i := range rec {
+					header[i] = fmt.Sprintf("col%d", i)
+				}
+			}
+			names = header
+			raw = make([][]string, len(names))
+		}
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("dataset: CSV row %d has %d fields, want %d", rows+1, len(rec), len(names))
+		}
+		for i, f := range rec {
+			raw[i] = append(raw[i], f)
+		}
+		rows++
+		if opts.MaxRows > 0 && rows >= opts.MaxRows {
+			break
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("dataset: CSV contains no data rows")
+	}
+
+	keep := make(map[string]bool)
+	for _, c := range opts.Columns {
+		keep[c] = true
+	}
+
+	b := NewBuilder()
+	added := 0
+	for i, name := range names {
+		if len(keep) > 0 && !keep[name] {
+			continue
+		}
+		addInferred(b, name, raw[i])
+		added++
+	}
+	if added == 0 {
+		return nil, fmt.Errorf("dataset: none of the requested columns %v found in CSV header", opts.Columns)
+	}
+	return b.Build()
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path string, opts CSVOptions) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}
+
+func addInferred(b *Builder, name string, vals []string) {
+	allInt, allFloat := true, true
+	for _, v := range vals {
+		if v == "" {
+			allInt, allFloat = false, false
+			break
+		}
+		if allInt {
+			if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+				allInt = false
+			}
+		}
+		if allFloat {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				allFloat = false
+			}
+		}
+		if !allInt && !allFloat {
+			break
+		}
+	}
+	switch {
+	case allInt:
+		ints := make([]int64, len(vals))
+		for i, v := range vals {
+			ints[i], _ = strconv.ParseInt(v, 10, 64)
+		}
+		b.AddInts(name, ints)
+	case allFloat:
+		floats := make([]float64, len(vals))
+		for i, v := range vals {
+			floats[i], _ = strconv.ParseFloat(v, 64)
+		}
+		b.AddFloats(name, floats)
+	default:
+		b.AddStrings(name, vals)
+	}
+}
+
+// WriteCSV serializes the table (raw display values) as CSV with a header.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for row := 0; row < t.NumRows(); row++ {
+		for i := 0; i < t.NumCols(); i++ {
+			rec[i] = t.Column(i).ValueString(row)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to path, creating or truncating it.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `pos,exp,sal,perc
+sec,1,20000,10.5
+sec,3,25000,10.0
+dev,1,30000,1.0
+`
+
+func TestReadCSVTypeInference(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 || tbl.NumCols() != 4 {
+		t.Fatalf("got %d rows × %d cols", tbl.NumRows(), tbl.NumCols())
+	}
+	wantKinds := map[string]Kind{"pos": KindString, "exp": KindInt, "sal": KindInt, "perc": KindFloat}
+	for name, k := range wantKinds {
+		i := tbl.ColumnIndex(name)
+		if i < 0 {
+			t.Fatalf("missing column %s", name)
+		}
+		if tbl.Column(i).Kind() != k {
+			t.Errorf("column %s kind = %v, want %v", name, tbl.Column(i).Kind(), k)
+		}
+	}
+}
+
+func TestReadCSVMaxRowsAndColumns(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{MaxRows: 2, Columns: []string{"sal", "pos"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	if tbl.NumCols() != 2 {
+		t.Errorf("NumCols = %d, want 2", tbl.NumCols())
+	}
+	if tbl.ColumnIndex("exp") != -1 {
+		t.Error("column exp should have been dropped")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader("1,x\n2,y\n"), CSVOptions{NoHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.ColumnNames(); !reflect.DeepEqual(got, []string{"col0", "col1"}) {
+		t.Errorf("names = %v", got)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{}); err == nil {
+		t.Error("want error for header-only input")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n3\n"), CSVOptions{}); err == nil {
+		t.Error("want error for ragged rows")
+	}
+	if _, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{Columns: []string{"nope"}}); err == nil {
+		t.Error("want error when no requested column exists")
+	}
+}
+
+func TestReadCSVEmptyFieldFallsBackToString(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader("a,b\n1,x\n,y\n3,z\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Column(0).Kind() != KindString {
+		t.Errorf("kind = %v, want string for column with empty field", tbl.Column(0).Kind())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != orig.NumRows() || back.NumCols() != orig.NumCols() {
+		t.Fatalf("round trip shape mismatch")
+	}
+	for c := 0; c < orig.NumCols(); c++ {
+		if !reflect.DeepEqual(back.Column(c).Ranks(), orig.Column(c).Ranks()) {
+			t.Errorf("column %s ranks changed across round trip", orig.Column(c).Name())
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	orig, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != orig.NumRows() {
+		t.Errorf("rows = %d, want %d", back.NumRows(), orig.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv"), CSVOptions{}); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestReadCSVCustomComma(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader("a;b\n1;2\n"), CSVOptions{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 2 {
+		t.Errorf("NumCols = %d, want 2", tbl.NumCols())
+	}
+}

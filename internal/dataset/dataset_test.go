@@ -1,0 +1,275 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildIntColumnRanks(t *testing.T) {
+	tbl, err := NewBuilder().AddInts("a", []int64{30, 10, 20, 10, 30}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column(0)
+	want := []int32{2, 0, 1, 0, 2}
+	if !reflect.DeepEqual(c.Ranks(), want) {
+		t.Errorf("ranks = %v, want %v", c.Ranks(), want)
+	}
+	if c.NumDistinct() != 3 {
+		t.Errorf("NumDistinct = %d, want 3", c.NumDistinct())
+	}
+	if got := c.ValueString(0); got != "30" {
+		t.Errorf("ValueString(0) = %q, want 30", got)
+	}
+}
+
+func TestBuildStringColumnRanks(t *testing.T) {
+	tbl, err := NewBuilder().AddStrings("s", []string{"dev", "sec", "dev", "dir"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column(0)
+	// lexicographic: dev < dir < sec
+	want := []int32{0, 2, 0, 1}
+	if !reflect.DeepEqual(c.Ranks(), want) {
+		t.Errorf("ranks = %v, want %v", c.Ranks(), want)
+	}
+	if c.Kind() != KindString {
+		t.Errorf("Kind = %v, want string", c.Kind())
+	}
+}
+
+func TestBuildFloatColumnWithNaN(t *testing.T) {
+	tbl, err := NewBuilder().AddFloats("f", []float64{2.5, math.NaN(), 1.5, math.NaN()}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column(0)
+	// NaN gets rank 0, then 1.5, then 2.5.
+	want := []int32{2, 0, 1, 0}
+	if !reflect.DeepEqual(c.Ranks(), want) {
+		t.Errorf("ranks = %v, want %v", c.Ranks(), want)
+	}
+	if c.NumDistinct() != 3 {
+		t.Errorf("NumDistinct = %d, want 3", c.NumDistinct())
+	}
+}
+
+// Rank encoding must preserve order and equality exactly.
+func TestRankEncodingOrderPreservingProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tbl, err := NewBuilder().AddInts("a", vals).Build()
+		if err != nil {
+			return false
+		}
+		r := tbl.Column(0).Ranks()
+		for i := range vals {
+			for j := range vals {
+				if (vals[i] < vals[j]) != (r[i] < r[j]) {
+					return false
+				}
+				if (vals[i] == vals[j]) != (r[i] == r[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Values: func(args []reflect.Value, rng *rand.Rand) {
+		n := rng.Intn(40)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(10) - 5)
+		}
+		args[0] = reflect.ValueOf(vals)
+	}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksAreDense(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tbl, _ := NewBuilder().AddInts("a", vals).Build()
+		c := tbl.Column(0)
+		seen := make(map[int32]bool)
+		for _, r := range c.Ranks() {
+			if r < 0 || int(r) >= c.NumDistinct() {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == c.NumDistinct()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Values: func(args []reflect.Value, rng *rand.Rand) {
+		n := 1 + rng.Intn(50)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(20))
+		}
+		args[0] = reflect.ValueOf(vals)
+	}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderRejectsMismatchedLengths(t *testing.T) {
+	_, err := NewBuilder().
+		AddInts("a", []int64{1, 2}).
+		AddInts("b", []int64{1, 2, 3}).
+		Build()
+	if err == nil {
+		t.Fatal("want error for mismatched column lengths")
+	}
+}
+
+func TestBuilderRejectsDuplicateNames(t *testing.T) {
+	_, err := NewBuilder().
+		AddInts("a", []int64{1}).
+		AddInts("a", []int64{2}).
+		Build()
+	if err == nil {
+		t.Fatal("want error for duplicate column names")
+	}
+}
+
+func TestBuilderRejectsEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatal("want error for zero columns")
+	}
+}
+
+func TestSelectAndIndex(t *testing.T) {
+	tbl, err := NewBuilder().
+		AddInts("a", []int64{1, 2}).
+		AddInts("b", []int64{3, 4}).
+		AddInts("c", []int64{5, 6}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tbl.Select("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.ColumnNames(); !reflect.DeepEqual(got, []string{"c", "a"}) {
+		t.Errorf("ColumnNames = %v", got)
+	}
+	if tbl.ColumnIndex("b") != 1 || tbl.ColumnIndex("zzz") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if _, err := tbl.Select("nope"); err == nil {
+		t.Error("want error selecting missing column")
+	}
+	sub2, err := tbl.SelectIndexes(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub2.ColumnNames(); !reflect.DeepEqual(got, []string{"c", "a"}) {
+		t.Errorf("SelectIndexes names = %v", got)
+	}
+	if _, err := tbl.SelectIndexes(9); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+}
+
+func TestHeadReencodesDensely(t *testing.T) {
+	tbl, err := NewBuilder().
+		AddInts("a", []int64{100, 50, 75, 10, 99}).
+		AddStrings("s", []string{"x", "q", "m", "a", "z"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tbl.Head(3)
+	if h.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", h.NumRows())
+	}
+	a := h.Column(0)
+	// values 100, 50, 75 -> ranks 2, 0, 1
+	if !reflect.DeepEqual(a.Ranks(), []int32{2, 0, 1}) {
+		t.Errorf("head ranks = %v", a.Ranks())
+	}
+	if a.NumDistinct() != 3 {
+		t.Errorf("head distinct = %d", a.NumDistinct())
+	}
+	if got := a.ValueString(0); got != "100" {
+		t.Errorf("head ValueString = %q, want 100", got)
+	}
+	if got := h.Column(1).ValueString(1); got != "q" {
+		t.Errorf("head string ValueString = %q, want q", got)
+	}
+	// Head with n >= rows returns the same table.
+	if tbl.Head(10) != tbl {
+		t.Error("Head(n>=rows) should return the receiver")
+	}
+	if tbl.Head(-1).NumRows() != 0 {
+		t.Error("Head(-1) should clamp to zero rows")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl, _ := NewBuilder().AddInts("a", []int64{1}).AddStrings("s", []string{"x"}).Build()
+	got := tbl.String()
+	if !strings.Contains(got, "1 rows") || !strings.Contains(got, "a:int") || !strings.Contains(got, "s:string") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestReversedColumn(t *testing.T) {
+	tbl, err := NewBuilder().
+		AddInts("a", []int64{30, 10, 20, 10}).
+		AddStrings("s", []string{"x", "q", "m", "q"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column(0)
+	rev := c.Reversed()
+	if rev.Name() != "a↓" {
+		t.Errorf("reversed name = %q", rev.Name())
+	}
+	if rev.NumDistinct() != c.NumDistinct() {
+		t.Errorf("distinct = %d, want %d", rev.NumDistinct(), c.NumDistinct())
+	}
+	// Order must flip exactly: rank + revRank = distinct−1.
+	for i := 0; i < c.Len(); i++ {
+		if c.Rank(i)+rev.Rank(i) != int32(c.NumDistinct()-1) {
+			t.Fatalf("row %d: rank %d + revRank %d != %d", i, c.Rank(i), rev.Rank(i), c.NumDistinct()-1)
+		}
+		if rev.ValueString(i) != c.ValueString(i) {
+			t.Fatalf("row %d: reversed display %q != original %q", i, rev.ValueString(i), c.ValueString(i))
+		}
+	}
+	// Double reversal returns the original.
+	if rev.Reversed() != c {
+		t.Error("double reversal should return the original column")
+	}
+	// Caching: same instance on repeated calls.
+	if c.Reversed() != rev {
+		t.Error("Reversed not cached")
+	}
+	// Strings too.
+	srev := tbl.Column(1).Reversed()
+	if srev.ValueString(1) != "q" {
+		t.Errorf("string reversed display = %q", srev.ValueString(1))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindFloat.String() != "float" || KindString.String() != "string" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+func TestFlightShapeAndDeterminism(t *testing.T) {
+	t1 := Flight(FlightConfig{Rows: 500, Attrs: 10, Seed: 1})
+	if t1.NumRows() != 500 || t1.NumCols() != 10 {
+		t.Fatalf("shape = %d×%d", t1.NumRows(), t1.NumCols())
+	}
+	t2 := Flight(FlightConfig{Rows: 500, Attrs: 10, Seed: 1})
+	for c := 0; c < t1.NumCols(); c++ {
+		if !reflect.DeepEqual(t1.Column(c).Ranks(), t2.Column(c).Ranks()) {
+			t.Fatalf("column %d not deterministic", c)
+		}
+	}
+	t3 := Flight(FlightConfig{Rows: 500, Attrs: 10, Seed: 2})
+	same := true
+	for c := 0; c < t1.NumCols() && same; c++ {
+		same = reflect.DeepEqual(t1.Column(c).Ranks(), t3.Column(c).Ranks())
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestFlightAttrBounds(t *testing.T) {
+	if got := Flight(FlightConfig{Rows: 10, Attrs: 0, Seed: 1}).NumCols(); got != 10 {
+		t.Errorf("default attrs = %d, want 10", got)
+	}
+	if got := Flight(FlightConfig{Rows: 10, Attrs: 99, Seed: 1}).NumCols(); got != 35 {
+		t.Errorf("capped attrs = %d, want 35", got)
+	}
+	if got := Flight(FlightConfig{Rows: 10, Attrs: 1, Seed: 1}).NumCols(); got != 2 {
+		t.Errorf("floor attrs = %d, want 2", got)
+	}
+	if got := Flight(FlightConfig{Rows: 10, Attrs: 35, Seed: 1}).NumCols(); got != 35 {
+		t.Errorf("full attrs = %d, want 35", got)
+	}
+}
+
+func TestNCVoterShape(t *testing.T) {
+	tbl := NCVoter(NCVoterConfig{Rows: 300, Attrs: 30, Seed: 5})
+	if tbl.NumRows() != 300 || tbl.NumCols() != 30 {
+		t.Fatalf("shape = %d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if got := NCVoter(NCVoterConfig{Rows: 10, Seed: 5}).NumCols(); got != 10 {
+		t.Errorf("default attrs = %d, want 10", got)
+	}
+}
+
+// Planted approximate OCs must land near their configured exception rates.
+func TestFlightPlantedAOCErrors(t *testing.T) {
+	tbl := Flight(FlightConfig{Rows: 4000, Attrs: 10, Seed: 7})
+	v := validate.New()
+	ctx := partition.Universe(tbl.NumRows())
+
+	check := func(aName, bName string, lo, hi float64) {
+		t.Helper()
+		a := tbl.Column(tbl.ColumnIndex(aName))
+		b := tbl.Column(tbl.ColumnIndex(bName))
+		r := v.OptimalAOC(ctx, a, b, validate.Options{Threshold: 1})
+		if r.Error < lo || r.Error > hi {
+			t.Errorf("%s ∼ %s error = %.4f, want in [%.2f, %.2f]", aName, bName, r.Error, lo, hi)
+		}
+	}
+	// ≈8% exceptions planted (minimal removal can be slightly below the
+	// corruption rate because some corruptions collide or stay in order).
+	check("origin", "originIATA", 0.03, 0.09)
+	// ≈9.5% exceptions planted.
+	check("lateAircraftDelay", "arrivalDelay", 0.04, 0.11)
+	// Exact pair.
+	check("distance", "airTime", 0, 0)
+	// flightID ↦ flightDate holds exactly (monotone bucketing).
+	if ok, _ := v.ExactOC(ctx,
+		tbl.Column(tbl.ColumnIndex("flightID")),
+		tbl.Column(tbl.ColumnIndex("flightDate"))); !ok {
+		t.Error("flightID ∼ flightDate should hold exactly")
+	}
+}
+
+func TestNCVoterPlantedAOCErrors(t *testing.T) {
+	tbl := NCVoter(NCVoterConfig{Rows: 4000, Attrs: 10, Seed: 8})
+	v := validate.New()
+	ctx := partition.Universe(tbl.NumRows())
+	check := func(aName, bName string, lo, hi float64) {
+		t.Helper()
+		a := tbl.Column(tbl.ColumnIndex(aName))
+		b := tbl.Column(tbl.ColumnIndex(bName))
+		r := v.OptimalAOC(ctx, a, b, validate.Options{Threshold: 1})
+		if r.Error < lo || r.Error > hi {
+			t.Errorf("%s ∼ %s error = %.4f, want in [%.2f, %.2f]", aName, bName, r.Error, lo, hi)
+		}
+	}
+	check("municipality", "municipalityAbbrv", 0.08, 0.22)
+	check("streetAddress", "mailAddress", 0.08, 0.20)
+	// FD municipality → zip planted exactly.
+	muniPart := partition.Single(tbl.Column(tbl.ColumnIndex("municipality")))
+	if !validate.ExactOFD(muniPart, tbl.Column(tbl.ColumnIndex("zip"))) {
+		t.Error("{municipality}: [] ↦ zip should hold")
+	}
+	// municipality ↦ county exact (bucketing).
+	if ok, _ := v.ExactOC(ctx,
+		tbl.Column(tbl.ColumnIndex("municipality")),
+		tbl.Column(tbl.ColumnIndex("county"))); !ok {
+		t.Error("municipality ∼ county should hold exactly")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := Table1()
+	if tbl.NumRows() != 9 || tbl.NumCols() != 7 {
+		t.Fatalf("Table 1 shape = %d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+	v := validate.New()
+	ctx := partition.Universe(9)
+	r := v.OptimalAOC(ctx, tbl.Column(tbl.ColumnIndex("sal")), tbl.Column(tbl.ColumnIndex("tax")),
+		validate.Options{Threshold: 1})
+	if r.Removals != 4 {
+		t.Errorf("sal ∼ tax minimal removal = %d, want 4 (Example 2.15)", r.Removals)
+	}
+}
+
+func TestCorrelatedPair(t *testing.T) {
+	tbl := CorrelatedPair(2000, 0.1, 3)
+	if tbl.NumRows() != 2000 || tbl.NumCols() != 2 {
+		t.Fatalf("shape = %d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+	v := validate.New()
+	r := v.OptimalAOC(partition.Universe(2000), tbl.Column(0), tbl.Column(1),
+		validate.Options{Threshold: 1})
+	if r.Error < 0.03 || r.Error > 0.12 {
+		t.Errorf("correlated pair error = %.4f, want ≈0.1-ish", r.Error)
+	}
+	exact := CorrelatedPair(1000, 0, 3)
+	re := v.OptimalAOC(partition.Universe(1000), exact.Column(0), exact.Column(1),
+		validate.Options{Threshold: 0})
+	if !re.Valid {
+		t.Error("frac=0 pair should be exactly order compatible")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tbl := Uniform(100, 5, 10, 9)
+	if tbl.NumRows() != 100 || tbl.NumCols() != 5 {
+		t.Fatalf("shape = %d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+	t2 := Uniform(100, 5, 10, 9)
+	for c := 0; c < 5; c++ {
+		if !reflect.DeepEqual(tbl.Column(c).Ranks(), t2.Column(c).Ranks()) {
+			t.Fatal("Uniform not deterministic")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Reference model: a map-based set.
+type refSet map[int]bool
+
+func refFrom(attrs []int) refSet {
+	m := make(refSet)
+	for _, a := range attrs {
+		m[a] = true
+	}
+	return m
+}
+
+func (m refSet) toAttrSet() AttrSet {
+	var s AttrSet
+	for a := range m {
+		s = s.Add(a)
+	}
+	return s
+}
+
+func genAttrs(rng *rand.Rand) []int {
+	n := rng.Intn(10)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(64)
+	}
+	return out
+}
+
+func TestAttrSetAgainstMapModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Values: func(args []reflect.Value, rng *rand.Rand) {
+		args[0] = reflect.ValueOf(genAttrs(rng))
+		args[1] = reflect.ValueOf(genAttrs(rng))
+	}}
+	f := func(as, bs []int) bool {
+		ra, rb := refFrom(as), refFrom(bs)
+		sa, sb := ra.toAttrSet(), rb.toAttrSet()
+		// Card
+		if sa.Card() != len(ra) {
+			return false
+		}
+		// Union / Intersect / Minus
+		union := make(refSet)
+		inter := make(refSet)
+		minus := make(refSet)
+		for a := range ra {
+			union[a] = true
+			if rb[a] {
+				inter[a] = true
+			} else {
+				minus[a] = true
+			}
+		}
+		for b := range rb {
+			union[b] = true
+		}
+		if sa.Union(sb) != union.toAttrSet() ||
+			sa.Intersect(sb) != inter.toAttrSet() ||
+			sa.Minus(sb) != minus.toAttrSet() {
+			return false
+		}
+		// Contains
+		contains := true
+		for b := range rb {
+			if !ra[b] {
+				contains = false
+			}
+		}
+		if sa.Contains(sb) != contains {
+			return false
+		}
+		// Attrs round trip
+		if refFrom(sa.Attrs()).toAttrSet() != sa {
+			return false
+		}
+		// Min/Max
+		if len(ra) > 0 {
+			mn, mx := 64, -1
+			for a := range ra {
+				if a < mn {
+					mn = a
+				}
+				if a > mx {
+					mx = a
+				}
+			}
+			if sa.Min() != mn || sa.Max() != mx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrSetAddRemoveInverse(t *testing.T) {
+	f := func(attrs []int, a int) bool {
+		s := refFrom(attrs).toAttrSet()
+		if s.Has(a) {
+			return s.Remove(a).Add(a) == s
+		}
+		return s.Add(a).Remove(a) == s
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: func(args []reflect.Value, rng *rand.Rand) {
+		args[0] = reflect.ValueOf(genAttrs(rng))
+		args[1] = reflect.ValueOf(rng.Intn(64))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

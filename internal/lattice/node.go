@@ -1,0 +1,171 @@
+package lattice
+
+import (
+	"aod/internal/dataset"
+	"aod/internal/partition"
+)
+
+// Node is one attribute set in the lattice, together with the validity state
+// that drives pruning:
+//
+//   - ConstValid: attributes D ∈ Set such that the approximate OFD
+//     (Set\{D}): [] ↦ D is valid (error ≤ ε). It is complete — propagation by
+//     monotonicity plus on-node validation covers every D — which is what
+//     lets superset nodes prune both non-minimal OFDs and constancy-trivial
+//     OCs exactly.
+//   - OCValid: unordered pairs {A,B} ⊆ Set such that the approximate OC
+//     Y: A ∼ B is valid for some context Y ⊆ Set\{A,B}.
+//
+// Partitions are materialized lazily (see Partition): nodes whose subtree
+// never validates anything never pay the partition-product cost. This is the
+// mechanism behind the paper's Exp-5 observation that approximate discovery
+// can be faster than exact discovery: AOCs/AOFDs are found at lower levels,
+// validity state saturates sooner, and the engine stops early.
+type Node struct {
+	// Set is the attribute set of this node.
+	Set AttrSet
+	// Level is |Set|.
+	Level int
+	// ConstValid marks attrs with a valid OFD in context Set\{attr}.
+	ConstValid AttrSet
+	// OCValid marks pairs with a valid OC in some context ⊆ Set\pair.
+	OCValid *PairSet
+	// OCValidDesc is the bidirectional analogue: pairs {A,B} with a valid
+	// mixed-direction OC (A ascending, B descending) in some sub-context.
+	// Allocated only when bidirectional discovery is enabled.
+	OCValidDesc *PairSet
+
+	// part is the stripped partition Π_Set, materialized on demand.
+	part *partition.Stripped
+	// classIDs caches part.ClassIDs() for sorted-scan validation.
+	classIDs []int32
+	// parents are two generating parents with Set = p0.Set ∪ p1.Set
+	// (nil for levels 0 and 1).
+	parents [2]*Node
+}
+
+// ClassIDs returns (and caches) the per-row class ids of the node's
+// partition, materializing the partition if needed.
+func (n *Node) ClassIDs(singles []*partition.Stripped) []int32 {
+	if n.classIDs == nil {
+		n.classIDs = n.Partition(singles).ClassIDs()
+	}
+	return n.classIDs
+}
+
+// Partition returns Π_Set, materializing it on demand from the two
+// generating parents (recursively), or — if an ancestor's partition was
+// already released — by folding single-attribute partitions.
+func (n *Node) Partition(singles []*partition.Stripped) *partition.Stripped {
+	if n.part != nil {
+		return n.part
+	}
+	switch {
+	case n.Level == 0:
+		n.part = partition.Universe(singles[0].N)
+	case n.Level == 1:
+		n.part = singles[n.Set.Min()]
+	case n.parents[0] != nil && n.parents[1] != nil:
+		// Levels >= 2 have two proper parents at level-1 cardinality; the
+		// product of any two distinct strict subsets covering Set yields
+		// Π_Set.
+		p0 := n.parents[0].Partition(singles)
+		p1 := n.parents[1].Partition(singles)
+		n.part = p0.Product(p1)
+	default:
+		// Fallback: fold single-attribute partitions.
+		attrs := n.Set.Attrs()
+		p := singles[attrs[0]]
+		for _, a := range attrs[1:] {
+			p = p.Product(singles[a])
+		}
+		n.part = p
+	}
+	return n.part
+}
+
+// HasPartition reports whether the partition is currently materialized.
+func (n *Node) HasPartition() bool { return n.part != nil }
+
+// ReleasePartition frees the materialized partition (and cached class ids)
+// to bound memory; both can be re-materialized later if needed.
+func (n *Node) ReleasePartition() {
+	n.part = nil
+	n.classIDs = nil
+}
+
+// Level0 builds the level-0 lattice: the single empty-set node whose
+// partition is the universe partition (one class with all rows).
+func Level0(numRows, numAttrs int) *Level {
+	n := &Node{
+		Set:     0,
+		Level:   0,
+		OCValid: NewPairSet(numAttrs),
+		part:    partition.Universe(numRows),
+	}
+	return &Level{Number: 0, Nodes: []*Node{n}, bySet: map[AttrSet]*Node{0: n}}
+}
+
+// Level is one stratum of the lattice: all nodes whose sets share a
+// cardinality.
+type Level struct {
+	// Number is the cardinality of the node sets in this level.
+	Number int
+	// Nodes in deterministic (ascending bitmask) order.
+	Nodes []*Node
+	bySet map[AttrSet]*Node
+}
+
+// Lookup returns the node for the given set, or nil.
+func (l *Level) Lookup(s AttrSet) *Node {
+	if l == nil {
+		return nil
+	}
+	return l.bySet[s]
+}
+
+// Level1 builds the level-1 lattice from per-attribute partitions, linking
+// every singleton to the level-0 node.
+func Level1(l0 *Level, tbl *dataset.Table, singles []*partition.Stripped) *Level {
+	numAttrs := tbl.NumCols()
+	lvl := &Level{Number: 1, bySet: make(map[AttrSet]*Node, numAttrs)}
+	for a := 0; a < numAttrs; a++ {
+		n := &Node{
+			Set:     NewAttrSet(a),
+			Level:   1,
+			OCValid: NewPairSet(numAttrs),
+			part:    singles[a],
+			parents: [2]*Node{l0.Nodes[0], l0.Nodes[0]},
+		}
+		lvl.Nodes = append(lvl.Nodes, n)
+		lvl.bySet[n.Set] = n
+	}
+	return lvl
+}
+
+// NextLevel generates level ℓ+1 from level ℓ: every set S with |S| = ℓ+1 is
+// produced exactly once by extending the node of S \ {max attr} with an
+// attribute larger than its maximum; the two generating parents chosen for
+// partition products are S\{c1} and S\{c2} for the two smallest attrs c1, c2
+// of S (both exist in level ℓ because levels are generated exhaustively).
+// Partitions are NOT computed here; see Node.Partition.
+func NextLevel(cur *Level, numAttrs int) *Level {
+	next := &Level{Number: cur.Number + 1, bySet: make(map[AttrSet]*Node)}
+	for _, n := range cur.Nodes {
+		for c := n.Set.Max() + 1; c < numAttrs; c++ {
+			s := n.Set.Add(c)
+			attrs := s.Attrs()
+			p0 := cur.bySet[s.Remove(attrs[0])]
+			p1 := cur.bySet[s.Remove(attrs[1])]
+			child := &Node{
+				Set:     s,
+				Level:   next.Number,
+				OCValid: NewPairSet(numAttrs),
+				parents: [2]*Node{p0, p1},
+			}
+			next.Nodes = append(next.Nodes, child)
+			next.bySet[s] = child
+		}
+	}
+	return next
+}

@@ -1,0 +1,43 @@
+package lis
+
+// LNDSFunc returns the indexes (ascending) of one longest non-decreasing
+// subsequence of the abstract sequence 0..n-1 under the given three-way
+// comparator: cmp(i, j) < 0 when element i orders before element j, 0 when
+// they are equal, > 0 otherwise. It generalizes LNDS to composite values
+// (e.g. lexicographic tuples in list-based OD validation) at the cost of a
+// comparator call per O(log n) step.
+func LNDSFunc(n int, cmp func(i, j int) int) []int {
+	if n == 0 {
+		return nil
+	}
+	tailsIdx := make([]int, 0, 16)
+	prev := make([]int, n)
+	for i := 0; i < n; i++ {
+		lo, hi := 0, len(tailsIdx)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cmp(tailsIdx[mid], i) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			prev[i] = tailsIdx[lo-1]
+		} else {
+			prev[i] = -1
+		}
+		if lo == len(tailsIdx) {
+			tailsIdx = append(tailsIdx, i)
+		} else {
+			tailsIdx[lo] = i
+		}
+	}
+	out := make([]int, len(tailsIdx))
+	at := tailsIdx[len(tailsIdx)-1]
+	for k := len(tailsIdx) - 1; k >= 0; k-- {
+		out[k] = at
+		at = prev[at]
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package lis implements the sequence algorithms underlying approximate
+// order-compatibility validation: longest non-decreasing subsequence (LNDS)
+// computation in O(n log n) after Fredman's dynamic-programming formulation
+// [Fredman 1975], LNDS reconstruction via back-pointers (for minimal removal
+// sets, Theorem 3.3 of the paper), strictly-increasing LIS (for the LIS-DEC
+// reduction in the optimality proof, Theorem 3.4), and per-element inversion
+// counting with a Fenwick tree (the swap counts used by the iterative
+// validator, Algorithm 1).
+package lis
+
+// LNDSLength returns the length of a longest non-decreasing subsequence of
+// seq in O(n log n) time and O(n) space.
+func LNDSLength(seq []int32) int {
+	// tails[k] = smallest possible last element of a non-decreasing
+	// subsequence of length k+1. tails is itself non-decreasing.
+	tails := make([]int32, 0, 16)
+	for _, v := range seq {
+		// Find the first tail strictly greater than v (upper bound): equal
+		// values may extend a subsequence, so they replace only strictly
+		// larger tails.
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if tails[mid] <= v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(tails) {
+			tails = append(tails, v)
+		} else {
+			tails[lo] = v
+		}
+	}
+	return len(tails)
+}
+
+// LISLength returns the length of a longest strictly increasing subsequence
+// of seq in O(n log n).
+func LISLength(seq []int32) int {
+	tails := make([]int32, 0, 16)
+	for _, v := range seq {
+		// Lower bound: the first tail >= v is replaced, so equal values can
+		// never extend a subsequence.
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if tails[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(tails) {
+			tails = append(tails, v)
+		} else {
+			tails[lo] = v
+		}
+	}
+	return len(tails)
+}
+
+// LNDS returns the indexes (ascending) of one longest non-decreasing
+// subsequence of seq, in O(n log n) time and O(n) space. The complement of
+// the returned index set is a minimal removal set making seq non-decreasing.
+func LNDS(seq []int32) []int {
+	n := len(seq)
+	if n == 0 {
+		return nil
+	}
+	// tailsIdx[k] = index into seq of the current tail of length k+1.
+	// prev[i] = index of the predecessor of seq[i] in the subsequence it
+	// extends, or -1.
+	tailsIdx := make([]int, 0, 16)
+	prev := make([]int, n)
+	for i, v := range seq {
+		lo, hi := 0, len(tailsIdx)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if seq[tailsIdx[mid]] <= v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			prev[i] = tailsIdx[lo-1]
+		} else {
+			prev[i] = -1
+		}
+		if lo == len(tailsIdx) {
+			tailsIdx = append(tailsIdx, i)
+		} else {
+			tailsIdx[lo] = i
+		}
+	}
+	out := make([]int, len(tailsIdx))
+	at := tailsIdx[len(tailsIdx)-1]
+	for k := len(tailsIdx) - 1; k >= 0; k-- {
+		out[k] = at
+		at = prev[at]
+	}
+	return out
+}
+
+// Fenwick is a binary indexed tree over values 0..size-1 supporting point
+// increments and prefix-sum queries in O(log size).
+type Fenwick struct {
+	tree []int32
+}
+
+// NewFenwick returns a Fenwick tree over the value domain [0, size).
+func NewFenwick(size int) *Fenwick {
+	return &Fenwick{tree: make([]int32, size+1)}
+}
+
+// Add increments the count of value v by delta.
+func (f *Fenwick) Add(v int32, delta int32) {
+	for i := int(v) + 1; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the total count of values <= v.
+func (f *Fenwick) PrefixSum(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	var s int32
+	i := int(v) + 1
+	if i >= len(f.tree) {
+		i = len(f.tree) - 1
+	}
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Total returns the total count of all values.
+func (f *Fenwick) Total() int32 {
+	return f.PrefixSum(int32(len(f.tree) - 2))
+}
+
+// Reset zeroes the tree for reuse.
+func (f *Fenwick) Reset() {
+	clear(f.tree)
+}
+
+// InversionCounts returns, for each position i of seq, the number of strict
+// inversions it participates in — pairs (i, j) with i < j and seq[j] < seq[i],
+// counted from both sides — together with the total number of inversion
+// pairs. maxRank must be strictly greater than every value in seq.
+//
+// When seq is the B-projection of a class sorted by (A asc, B asc), these
+// counts are exactly the per-tuple swap counts of Algorithm 1 (ties in A are
+// B-ascending and therefore contribute no inversions). Runtime O(n log n).
+func InversionCounts(seq []int32, maxRank int32) (perElem []int32, total int64) {
+	n := len(seq)
+	perElem = make([]int32, n)
+	ft := NewFenwick(int(maxRank))
+	// Left-to-right: count earlier elements strictly greater than seq[i].
+	for i, v := range seq {
+		seen := int32(i)
+		leq := ft.PrefixSum(v)
+		perElem[i] += seen - leq // strictly greater among the i earlier
+		ft.Add(v, 1)
+	}
+	ft.Reset()
+	// Right-to-left: count later elements strictly less than seq[i].
+	for i := n - 1; i >= 0; i-- {
+		v := seq[i]
+		less := ft.PrefixSum(v - 1)
+		perElem[i] += less
+		total += int64(less)
+		ft.Add(v, 1)
+	}
+	return perElem, total
+}

@@ -1,0 +1,207 @@
+package order
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aod/internal/dataset"
+	"aod/internal/validate"
+)
+
+func mustBuild(t *testing.T, b *dataset.Builder) *dataset.Table {
+	t.Helper()
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestDiscoverFindsMonotonePair(t *testing.T) {
+	// b = 2a + 1: [a] ↦ [b] and [b] ↦ [a] both hold.
+	a := []int64{5, 3, 9, 1, 7}
+	bb := []int64{11, 7, 19, 3, 15}
+	tbl := mustBuild(t, dataset.NewBuilder().AddInts("a", a).AddInts("b", bb))
+	res, err := Discover(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ODs) != 2 {
+		t.Fatalf("ODs = %v, want both directions", res.ODs)
+	}
+}
+
+func TestSplitRepairedByExtendingLHS(t *testing.T) {
+	// [a] ↦ [c] fails with splits only (ties in a with different c, in
+	// increasing order), but [a,b] ↦ [c] holds.
+	a := []int64{1, 1, 2, 2}
+	b := []int64{1, 2, 1, 2}
+	c := []int64{10, 20, 30, 40}
+	tbl := mustBuild(t, dataset.NewBuilder().AddInts("a", a).AddInts("b", b).AddInts("c", c))
+	if got := classify(tbl, []int{0}, []int{2}); got != splitOnly {
+		t.Fatalf("classify([a],[c]) = %v, want splitOnly", got)
+	}
+	res, err := Discover(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, od := range res.ODs {
+		if len(od.X) == 2 && od.X[0] == 0 && od.X[1] == 1 && len(od.Y) == 1 && od.Y[0] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("[a,b] ↦ [c] not found; ODs: %v", res.ODs)
+	}
+}
+
+func TestSwapPrunes(t *testing.T) {
+	// a and b are anti-correlated: swaps everywhere, nothing discoverable
+	// from ([a],[b]) and the subtree must be pruned.
+	a := []int64{1, 2, 3, 4}
+	b := []int64{4, 3, 2, 1}
+	tbl := mustBuild(t, dataset.NewBuilder().AddInts("a", a).AddInts("b", b))
+	res, err := Discover(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ODs) != 0 {
+		t.Errorf("ODs = %v, want none", res.ODs)
+	}
+	if res.PrunedBySwap == 0 {
+		t.Error("expected swap pruning to trigger")
+	}
+}
+
+func TestAllReportedODsHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 40; iter++ {
+		b := dataset.NewBuilder()
+		rows := 2 + rng.Intn(25)
+		attrs := 2 + rng.Intn(4)
+		for c := 0; c < attrs; c++ {
+			vals := make([]int64, rows)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(4))
+			}
+			b.AddInts(fmt.Sprintf("c%d", c), vals)
+		}
+		tbl, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Discover(tbl, Config{MaxDepth: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, od := range res.ODs {
+			if ok, w := validate.ExactListOD(tbl, od.X, od.Y); !ok {
+				t.Fatalf("iter %d: reported OD %v does not hold (witness %v)", iter, od, w)
+			}
+		}
+	}
+}
+
+func TestPrefixMinimality(t *testing.T) {
+	// If [a] ↦ [c] holds, [a,b] ↦ [c] must not be reported.
+	a := []int64{1, 2, 3, 4}
+	b := []int64{5, 6, 7, 8}
+	c := []int64{2, 4, 6, 8}
+	tbl := mustBuild(t, dataset.NewBuilder().AddInts("a", a).AddInts("b", b).AddInts("c", c))
+	res, err := Discover(tbl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range res.ODs {
+		if len(od.X) > 1 {
+			// Extending only happens after a split; with all-distinct a
+			// there is never a split, so X must stay singleton.
+			t.Errorf("non-minimal OD reported: %v", od)
+		}
+	}
+}
+
+func TestMaxDepthBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := dataset.NewBuilder()
+	for c := 0; c < 5; c++ {
+		vals := make([]int64, 30)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(2))
+		}
+		b.AddInts(fmt.Sprintf("c%d", c), vals)
+	}
+	tbl := mustBuild(t, b)
+	res, err := Discover(tbl, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range res.ODs {
+		if len(od.X) > 2 {
+			t.Errorf("OD %v exceeds depth 2", od)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tbl := mustBuild(t, dataset.NewBuilder().AddInts("a", []int64{1}))
+	if _, err := Discover(tbl, Config{}); err == nil {
+		t.Error("want error for single attribute")
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := dataset.NewBuilder()
+	for c := 0; c < 10; c++ {
+		vals := make([]int64, 5000)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(3))
+		}
+		b.AddInts(fmt.Sprintf("c%d", c), vals)
+	}
+	tbl := mustBuild(t, b)
+	res, err := Discover(tbl, Config{MaxDepth: 4, TimeLimit: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Skip("machine too fast; skipping")
+	}
+}
+
+func TestODFormatting(t *testing.T) {
+	od := OD{X: []int{0, 1}, Y: []int{2}}
+	if got := od.String(); got != "[0,1] ↦ [2]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := od.Format([]string{"a", "b", "c"}); got != "[a,b] ↦ [c]" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := dataset.NewBuilder()
+	for c := 0; c < 4; c++ {
+		vals := make([]int64, 40)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(3))
+		}
+		b.AddInts(fmt.Sprintf("c%d", c), vals)
+	}
+	tbl := mustBuild(t, b)
+	r1, _ := Discover(tbl, Config{})
+	r2, _ := Discover(tbl, Config{})
+	if len(r1.ODs) != len(r2.ODs) {
+		t.Fatal("non-deterministic OD count")
+	}
+	for i := range r1.ODs {
+		if r1.ODs[i].String() != r2.ODs[i].String() {
+			t.Fatalf("OD %d differs", i)
+		}
+	}
+}

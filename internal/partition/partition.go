@@ -1,0 +1,220 @@
+// Package partition implements the equivalence-class machinery of Def. 2.8:
+// stripped partitions (position-list indexes, PLIs) over attribute sets, and
+// the linear-time partition product used by level-wise lattice traversal
+// (after TANE, Huhtala et al. 1999, which the paper's framework builds on).
+//
+// A stripped partition omits singleton equivalence classes: a tuple alone in
+// its class can participate in no split and no swap, so every validator in
+// this repository is exact on stripped partitions.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"aod/internal/dataset"
+)
+
+// Stripped is a stripped partition: the non-singleton equivalence classes of
+// a table with respect to some attribute set, each class a slice of row ids.
+type Stripped struct {
+	// Classes holds the non-singleton equivalence classes. Row ids within a
+	// class are in ascending order; classes are in order of first row id.
+	Classes [][]int32
+	// N is the number of rows of the underlying table.
+	N int
+}
+
+// NumClasses returns the number of non-singleton classes.
+func (p *Stripped) NumClasses() int { return len(p.Classes) }
+
+// Size returns the total number of rows covered by non-singleton classes.
+func (p *Stripped) Size() int {
+	s := 0
+	for _, c := range p.Classes {
+		s += len(c)
+	}
+	return s
+}
+
+// TotalClasses returns the number of equivalence classes including the
+// stripped singletons: |Π_X| of the unstripped partition.
+func (p *Stripped) TotalClasses() int {
+	return p.N - p.Size() + len(p.Classes)
+}
+
+// IsUnique reports whether every class is a singleton, i.e. the attribute set
+// is a key for the instance.
+func (p *Stripped) IsUnique() bool { return len(p.Classes) == 0 }
+
+// String renders a compact summary for debugging.
+func (p *Stripped) String() string {
+	return fmt.Sprintf("Stripped(%d classes over %d/%d rows)", len(p.Classes), p.Size(), p.N)
+}
+
+// Single builds the stripped partition of one rank-encoded column.
+func Single(col *dataset.Column) *Stripped {
+	n := col.Len()
+	ranks := col.Ranks()
+	counts := make([]int32, col.NumDistinct())
+	for _, r := range ranks {
+		counts[r]++
+	}
+	// Bucket rows by rank; emit only buckets of size >= 2, ordered by first
+	// occurrence to keep a deterministic layout.
+	starts := make([]int32, col.NumDistinct())
+	var off int32
+	for r, c := range counts {
+		starts[r] = off
+		off += c
+	}
+	flat := make([]int32, n)
+	next := append([]int32(nil), starts...)
+	for i, r := range ranks {
+		flat[next[r]] = int32(i)
+		next[r]++
+	}
+	p := &Stripped{N: n}
+	type firstClass struct {
+		first int32
+		rank  int32
+	}
+	var order []firstClass
+	for r := range counts {
+		if counts[r] >= 2 {
+			order = append(order, firstClass{first: flat[starts[r]], rank: int32(r)})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].first < order[j].first })
+	for _, fc := range order {
+		s, c := starts[fc.rank], counts[fc.rank]
+		p.Classes = append(p.Classes, flat[s:s+c:s+c])
+	}
+	return p
+}
+
+// FromRowSignature builds a stripped partition directly from an arbitrary
+// per-row signature (rows with equal signatures share a class). It is used by
+// tests and by brute-force reference implementations.
+func FromRowSignature(sig []int64, n int) *Stripped {
+	groups := make(map[int64][]int32)
+	var order []int64
+	for i := 0; i < n; i++ {
+		if _, ok := groups[sig[i]]; !ok {
+			order = append(order, sig[i])
+		}
+		groups[sig[i]] = append(groups[sig[i]], int32(i))
+	}
+	p := &Stripped{N: n}
+	for _, k := range order {
+		if g := groups[k]; len(g) >= 2 {
+			p.Classes = append(p.Classes, g)
+		}
+	}
+	return p
+}
+
+// Product computes the stripped partition Π_{X∪Y} from Π_X = p and Π_Y =
+// other in O(‖p‖ + classes(other)) time using the TANE probe-table scheme:
+// rows agreeing on both X and Y are exactly rows that share a p-class and an
+// other-class.
+func (p *Stripped) Product(other *Stripped) *Stripped {
+	if p.N != other.N {
+		panic(fmt.Sprintf("partition: product of partitions over %d and %d rows", p.N, other.N))
+	}
+	n := p.N
+	// classOf[row] = id of the other-class containing row, or -1.
+	classOf := make([]int32, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	for ci, cls := range other.Classes {
+		for _, row := range cls {
+			classOf[row] = int32(ci)
+		}
+	}
+	out := &Stripped{N: n}
+	// For each class of p, group its rows by their other-class id.
+	probe := make(map[int32][]int32)
+	for _, cls := range p.Classes {
+		for _, row := range cls {
+			oc := classOf[row]
+			if oc < 0 {
+				continue // row is a singleton in other: singleton in product
+			}
+			probe[oc] = append(probe[oc], row)
+		}
+		if len(probe) > 0 {
+			// Deterministic order: by first row id of each subgroup. Rows
+			// were appended in ascending order within cls, so each subgroup
+			// is already ascending.
+			keys := make([]int32, 0, len(probe))
+			for k := range probe {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return probe[keys[i]][0] < probe[keys[j]][0] })
+			for _, k := range keys {
+				if g := probe[k]; len(g) >= 2 {
+					out.Classes = append(out.Classes, g)
+				}
+				delete(probe, k)
+			}
+		}
+	}
+	return out
+}
+
+// ClassIDs returns a per-row class identifier: rows in the i-th class map to
+// int32(i); stripped (singleton) rows map to -1. The slice has length N.
+func (p *Stripped) ClassIDs() []int32 {
+	ids := make([]int32, p.N)
+	for i := range ids {
+		ids[i] = -1
+	}
+	for ci, cls := range p.Classes {
+		for _, row := range cls {
+			ids[row] = int32(ci)
+		}
+	}
+	return ids
+}
+
+// Refines reports whether p refines q: every class of p is contained in a
+// single class of q. The unstripped semantics are used (singletons refine
+// everything).
+func (p *Stripped) Refines(q *Stripped) bool {
+	if p.N != q.N {
+		return false
+	}
+	qid := q.ClassIDs()
+	for _, cls := range p.Classes {
+		// All rows of cls must map to the same q class id; -1 (singleton in
+		// q) can cover at most one row, so any -1 in a class of size >= 2
+		// falsifies refinement.
+		first := qid[cls[0]]
+		if first < 0 {
+			return false
+		}
+		for _, row := range cls[1:] {
+			if qid[row] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Universe returns the trivial partition with a single class containing all n
+// rows (the partition of the empty attribute set). For n < 2 the partition is
+// fully stripped.
+func Universe(n int) *Stripped {
+	p := &Stripped{N: n}
+	if n >= 2 {
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		p.Classes = [][]int32{all}
+	}
+	return p
+}

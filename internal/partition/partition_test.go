@@ -1,0 +1,247 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aod/internal/dataset"
+)
+
+func mustTable(t *testing.T, cols map[string][]int64, order []string) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder()
+	for _, name := range order {
+		b.AddInts(name, cols[name])
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// randomTable builds a table of k integer columns with small domains.
+func randomTable(rng *rand.Rand, rows, cols, domain int) *dataset.Table {
+	b := dataset.NewBuilder()
+	for c := 0; c < cols; c++ {
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(domain))
+		}
+		b.AddInts(string(rune('a'+c)), vals)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+// signature builds per-row signatures for a set of columns (for the
+// brute-force reference partition).
+func signature(tbl *dataset.Table, cols ...int) []int64 {
+	n := tbl.NumRows()
+	sig := make([]int64, n)
+	for _, c := range cols {
+		ranks := tbl.Column(c).Ranks()
+		d := int64(tbl.Column(c).NumDistinct())
+		for i := 0; i < n; i++ {
+			sig[i] = sig[i]*d + int64(ranks[i])
+		}
+	}
+	return sig
+}
+
+func classesAsSets(p *Stripped) map[int32][]int32 {
+	m := make(map[int32][]int32)
+	for _, cls := range p.Classes {
+		m[cls[0]] = cls
+	}
+	return m
+}
+
+func samePartition(a, b *Stripped) bool {
+	if a.N != b.N || len(a.Classes) != len(b.Classes) {
+		return false
+	}
+	am, bm := classesAsSets(a), classesAsSets(b)
+	for k, av := range am {
+		if !reflect.DeepEqual(av, bm[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSinglePaperExample(t *testing.T) {
+	// Example 2.9: Π_pos of Table 1 = {{t1,t2,t4},{t3,t5,t6,t7,t8},{t9}};
+	// stripped drops {t9}.
+	b := dataset.NewBuilder()
+	b.AddStrings("pos", []string{"sec", "sec", "dev", "sec", "dev", "dev", "dev", "dev", "dir"})
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Single(tbl.Column(0))
+	if p.NumClasses() != 2 {
+		t.Fatalf("classes = %d, want 2", p.NumClasses())
+	}
+	want0 := []int32{0, 1, 3}
+	want1 := []int32{2, 4, 5, 6, 7}
+	if !reflect.DeepEqual(p.Classes[0], want0) || !reflect.DeepEqual(p.Classes[1], want1) {
+		t.Errorf("classes = %v", p.Classes)
+	}
+	if p.Size() != 8 {
+		t.Errorf("Size = %d, want 8", p.Size())
+	}
+	if p.TotalClasses() != 3 {
+		t.Errorf("TotalClasses = %d, want 3", p.TotalClasses())
+	}
+}
+
+func TestSingleAllUnique(t *testing.T) {
+	tbl := mustTable(t, map[string][]int64{"a": {5, 3, 1, 4, 2}}, []string{"a"})
+	p := Single(tbl.Column(0))
+	if !p.IsUnique() {
+		t.Error("all-distinct column should be unique")
+	}
+	if p.TotalClasses() != 5 {
+		t.Errorf("TotalClasses = %d, want 5", p.TotalClasses())
+	}
+}
+
+func TestSingleAllEqual(t *testing.T) {
+	tbl := mustTable(t, map[string][]int64{"a": {7, 7, 7}}, []string{"a"})
+	p := Single(tbl.Column(0))
+	if p.NumClasses() != 1 || p.Size() != 3 {
+		t.Errorf("got %v", p)
+	}
+}
+
+func TestProductMatchesSignature(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 200; iter++ {
+		rows := 1 + rng.Intn(60)
+		tbl := randomTable(rng, rows, 3, 1+rng.Intn(5))
+		pa := Single(tbl.Column(0))
+		pb := Single(tbl.Column(1))
+		pc := Single(tbl.Column(2))
+
+		ab := pa.Product(pb)
+		want := FromRowSignature(signature(tbl, 0, 1), rows)
+		if !samePartition(ab, want) {
+			t.Fatalf("iter %d: product(a,b) = %v, want %v", iter, ab.Classes, want.Classes)
+		}
+		abc := ab.Product(pc)
+		want3 := FromRowSignature(signature(tbl, 0, 1, 2), rows)
+		if !samePartition(abc, want3) {
+			t.Fatalf("iter %d: product(ab,c) = %v, want %v", iter, abc.Classes, want3.Classes)
+		}
+		// Product is commutative up to class identity.
+		ba := pb.Product(pa)
+		if !samePartition(ab, ba) {
+			t.Fatalf("iter %d: product not commutative", iter)
+		}
+	}
+}
+
+func TestProductRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		rows := 2 + rng.Intn(40)
+		tbl := randomTable(rng, rows, 2, 1+rng.Intn(4))
+		pa := Single(tbl.Column(0))
+		pb := Single(tbl.Column(1))
+		ab := pa.Product(pb)
+		if !ab.Refines(pa) || !ab.Refines(pb) {
+			t.Fatalf("iter %d: product does not refine factors", iter)
+		}
+	}
+}
+
+func TestProductPanicsOnMismatchedN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for mismatched row counts")
+		}
+	}()
+	a := &Stripped{N: 3}
+	b := &Stripped{N: 4}
+	a.Product(b)
+}
+
+func TestClassIDs(t *testing.T) {
+	p := &Stripped{N: 5, Classes: [][]int32{{0, 2}, {1, 4}}}
+	want := []int32{0, 1, 0, -1, 1}
+	if got := p.ClassIDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ClassIDs = %v, want %v", got, want)
+	}
+}
+
+func TestRefinesEdgeCases(t *testing.T) {
+	u := Universe(4)
+	fine := &Stripped{N: 4, Classes: [][]int32{{0, 1}}}
+	if !fine.Refines(u) {
+		t.Error("partition should refine universe")
+	}
+	if u.Refines(fine) {
+		t.Error("universe should not refine a proper partition")
+	}
+	other := &Stripped{N: 5}
+	if fine.Refines(other) {
+		t.Error("different N should not refine")
+	}
+	empty := &Stripped{N: 4}
+	if !empty.Refines(fine) {
+		t.Error("fully stripped partition refines everything")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := Universe(3)
+	if u.NumClasses() != 1 || u.Size() != 3 {
+		t.Errorf("Universe(3) = %v", u)
+	}
+	if got := Universe(1); got.NumClasses() != 0 {
+		t.Errorf("Universe(1) should be stripped, got %v", got)
+	}
+	if got := Universe(0); got.NumClasses() != 0 {
+		t.Errorf("Universe(0) should be empty, got %v", got)
+	}
+}
+
+func TestFromRowSignatureOrdering(t *testing.T) {
+	sig := []int64{9, 2, 9, 2, 5}
+	p := FromRowSignature(sig, 5)
+	if p.NumClasses() != 2 {
+		t.Fatalf("classes = %d", p.NumClasses())
+	}
+	if !reflect.DeepEqual(p.Classes[0], []int32{0, 2}) {
+		t.Errorf("first class = %v", p.Classes[0])
+	}
+	if !reflect.DeepEqual(p.Classes[1], []int32{1, 3}) {
+		t.Errorf("second class = %v", p.Classes[1])
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	p := &Stripped{N: 5, Classes: [][]int32{{0, 2}}}
+	if got := p.String(); got != "Stripped(1 classes over 2/5 rows)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Product with a unique (key) partition is always fully stripped.
+func TestProductWithKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tbl := randomTable(rng, 30, 1, 3)
+	pa := Single(tbl.Column(0))
+	key := &Stripped{N: 30} // all singletons
+	if got := pa.Product(key); !got.IsUnique() {
+		t.Errorf("product with key should be unique, got %v", got)
+	}
+	if got := key.Product(pa); !got.IsUnique() {
+		t.Errorf("key.Product should be unique, got %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package repair implements the downstream application stage of the paper's
+// framework (Fig. 1: "Error Repair / Outlier Detection", after Qiu et al.,
+// DASFAA 2018 — reference [7]): turning verified approximate dependencies
+// and their minimal removal sets into actionable artifacts —
+//
+//   - repair suggestions: for each tuple in an AOC's removal set, the range
+//     of right-side values that would make the tuple consistent with the
+//     kept tuples of its equivalence class;
+//   - suspicion ranking: tuples flagged by many independent dependencies'
+//     removal sets are the strongest outlier/error candidates.
+package repair
+
+import (
+	"sort"
+
+	"aod/internal/dataset"
+	"aod/internal/partition"
+)
+
+// Suggestion is a repair interval for one removed tuple with respect to an
+// AOC X: A ∼ B: replacing the tuple's B-value with any value between the
+// bounds (inclusive) removes all of its swaps with the kept tuples.
+type Suggestion struct {
+	// Row is the removed tuple.
+	Row int32
+	// LoRow is a kept tuple whose B-value is the lower bound, or -1 when
+	// the interval is unbounded below.
+	LoRow int32
+	// HiRow is a kept tuple whose B-value is the upper bound, or -1 when
+	// the interval is unbounded above.
+	HiRow int32
+}
+
+// ForOC computes repair suggestions for an AOC's removal set. ctx is the
+// context partition Π_X; a and b are the OC's column indexes into tbl;
+// removed is the (minimal) removal set as produced by the optimal validator.
+// Suggestions are returned in ascending row order.
+func ForOC(tbl *dataset.Table, ctx *partition.Stripped, a, b int, removed []int32) []Suggestion {
+	ra, rb := tbl.Column(a).Ranks(), tbl.Column(b).Ranks()
+	dead := make(map[int32]bool, len(removed))
+	for _, r := range removed {
+		dead[r] = true
+	}
+	var out []Suggestion
+	for _, cls := range ctx.Classes {
+		var removedHere []int32
+		for _, row := range cls {
+			if dead[row] {
+				removedHere = append(removedHere, row)
+			}
+		}
+		if len(removedHere) == 0 {
+			continue
+		}
+		// Kept rows sorted by A-rank; swap-freeness makes B non-decreasing
+		// across strictly increasing A.
+		var kept []int32
+		for _, row := range cls {
+			if !dead[row] {
+				kept = append(kept, row)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool {
+			if ra[kept[i]] != ra[kept[j]] {
+				return ra[kept[i]] < ra[kept[j]]
+			}
+			return rb[kept[i]] < rb[kept[j]]
+		})
+		for _, r := range removedHere {
+			s := Suggestion{Row: r, LoRow: -1, HiRow: -1}
+			// Lower bound: the max-B kept row with strictly smaller A.
+			// Upper bound: the min-B kept row with strictly larger A.
+			for _, k := range kept {
+				switch {
+				case ra[k] < ra[r]:
+					if s.LoRow < 0 || rb[k] > rb[s.LoRow] {
+						s.LoRow = k
+					}
+				case ra[k] > ra[r]:
+					if s.HiRow < 0 || rb[k] < rb[s.HiRow] {
+						s.HiRow = k
+					}
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Row < out[j].Row })
+	return out
+}
+
+// Suspicion counts how many removal sets flag a row.
+type Suspicion struct {
+	Row  int32
+	Hits int
+}
+
+// Suspicions aggregates removal sets into a ranking of suspect rows, most
+// flagged first (ties by ascending row id). Rows flagged once are included;
+// callers typically filter by a minimum hit count.
+func Suspicions(removalSets [][]int32) []Suspicion {
+	counts := make(map[int32]int)
+	for _, set := range removalSets {
+		for _, row := range set {
+			counts[row]++
+		}
+	}
+	out := make([]Suspicion, 0, len(counts))
+	for row, hits := range counts {
+		out = append(out, Suspicion{Row: row, Hits: hits})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out
+}

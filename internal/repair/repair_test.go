@@ -1,0 +1,106 @@
+package repair
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aod/internal/dataset"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+func table1(t *testing.T) *dataset.Table {
+	t.Helper()
+	tbl, err := dataset.NewBuilder().
+		AddStrings("pos", []string{"sec", "sec", "dev", "sec", "dev", "dev", "dev", "dev", "dir"}).
+		AddInts("exp", []int64{1, 3, 1, 5, 3, 5, 5, -1, 8}).
+		AddInts("sal", []int64{20, 25, 30, 40, 50, 55, 60, 90, 200}).
+		AddInts("tax", []int64{20, 25, 3, 120, 15, 165, 18, 72, 160}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestForOCPaperExample(t *testing.T) {
+	tbl := table1(t)
+	ctx := partition.Single(tbl.Column(0)) // Π_pos
+	exp, sal := 1, 2
+	v := validate.New()
+	r := v.OptimalAOC(ctx, tbl.Column(exp), tbl.Column(sal),
+		validate.Options{Threshold: 1, CollectRemovals: true})
+	if r.Removals != 1 || r.RemovalRows[0] != 7 {
+		t.Fatalf("unexpected removal set %v", r.RemovalRows)
+	}
+	sug := ForOC(tbl, ctx, exp, sal, r.RemovalRows)
+	if len(sug) != 1 || sug[0].Row != 7 {
+		t.Fatalf("suggestions = %+v", sug)
+	}
+	// t8 (dev, exp=-1, sal=90): all kept dev rows have larger exp, so the
+	// repair interval is unbounded below and bounded above by the smallest
+	// kept dev salary (t3: exp=1, sal=30).
+	if sug[0].LoRow != -1 {
+		t.Errorf("LoRow = %d, want -1", sug[0].LoRow)
+	}
+	if sug[0].HiRow != 2 {
+		t.Errorf("HiRow = %d, want 2 (t3)", sug[0].HiRow)
+	}
+}
+
+func TestForOCSuggestionsAreConsistent(t *testing.T) {
+	// Applying any value in the suggested interval must not create a swap
+	// with kept rows. We verify bounds ordering: B(LoRow) <= B(HiRow).
+	rng := rand.New(rand.NewSource(77))
+	v := validate.New()
+	for iter := 0; iter < 200; iter++ {
+		rows := 4 + rng.Intn(30)
+		b := dataset.NewBuilder()
+		for c := 0; c < 3; c++ {
+			vals := make([]int64, rows)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(6))
+			}
+			b.AddInts(string(rune('a'+c)), vals)
+		}
+		tbl, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := partition.Single(tbl.Column(0))
+		r := v.OptimalAOC(ctx, tbl.Column(1), tbl.Column(2),
+			validate.Options{Threshold: 1, CollectRemovals: true})
+		sug := ForOC(tbl, ctx, 1, 2, r.RemovalRows)
+		if len(sug) != len(r.RemovalRows) {
+			t.Fatalf("iter %d: %d suggestions for %d removals", iter, len(sug), len(r.RemovalRows))
+		}
+		rb := tbl.Column(2).Ranks()
+		for _, s := range sug {
+			if s.LoRow >= 0 && s.HiRow >= 0 && rb[s.LoRow] > rb[s.HiRow] {
+				t.Fatalf("iter %d: inverted interval for row %d: lo %d > hi %d",
+					iter, s.Row, rb[s.LoRow], rb[s.HiRow])
+			}
+		}
+	}
+}
+
+func TestForOCEmptyRemovals(t *testing.T) {
+	tbl := table1(t)
+	ctx := partition.Universe(tbl.NumRows())
+	if got := ForOC(tbl, ctx, 1, 2, nil); got != nil {
+		t.Errorf("suggestions for empty removal = %v", got)
+	}
+}
+
+func TestSuspicions(t *testing.T) {
+	sets := [][]int32{{1, 2, 3}, {2, 3}, {3}, {9}}
+	got := Suspicions(sets)
+	want := []Suspicion{{3, 3}, {2, 2}, {1, 1}, {9, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Suspicions = %v, want %v", got, want)
+	}
+	if got := Suspicions(nil); len(got) != 0 {
+		t.Errorf("Suspicions(nil) = %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aod/internal/dataset"
+)
+
+// Empirical checks of the order-dependency axioms of Szlichta, Godfrey &
+// Gryz (PVLDB 2012 — reference [12] of the paper) against the validators on
+// random instances. These are laws of the *semantics*; a validator bug that
+// broke soundness would almost surely break one of them.
+
+func axiomTable(rng *rand.Rand, rows, attrs int) *dataset.Table {
+	b := dataset.NewBuilder()
+	for c := 0; c < attrs; c++ {
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(2 + rng.Intn(5)))
+		}
+		b.AddInts(fmt.Sprintf("c%d", c), vals)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+func randList(rng *rand.Rand, attrs, maxLen int) []int {
+	perm := rng.Perm(attrs)
+	return perm[:1+rng.Intn(maxLen)]
+}
+
+// Reflexivity: X ↦ X' holds for every prefix X' of X.
+func TestAxiomReflexivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	for iter := 0; iter < 200; iter++ {
+		tbl := axiomTable(rng, 2+rng.Intn(25), 3)
+		x := randList(rng, 3, 3)
+		for p := 0; p <= len(x); p++ {
+			if ok, w := ExactListOD(tbl, x, x[:p]); !ok {
+				t.Fatalf("iter %d: reflexivity violated: %v ↦ %v (witness %v)", iter, x, x[:p], w)
+			}
+		}
+	}
+}
+
+// Transitivity: X ↦ Y and Y ↦ Z imply X ↦ Z.
+func TestAxiomTransitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	checked := 0
+	for iter := 0; iter < 2000 && checked < 150; iter++ {
+		tbl := axiomTable(rng, 2+rng.Intn(20), 4)
+		x := randList(rng, 4, 2)
+		y := randList(rng, 4, 2)
+		z := randList(rng, 4, 2)
+		xy, _ := ExactListOD(tbl, x, y)
+		yz, _ := ExactListOD(tbl, y, z)
+		if !xy || !yz {
+			continue
+		}
+		checked++
+		if ok, w := ExactListOD(tbl, x, z); !ok {
+			t.Fatalf("iter %d: transitivity violated: %v↦%v, %v↦%v but not %v↦%v (witness %v)",
+				iter, x, y, y, z, x, z, w)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d transitive premises found; workload too sparse", checked)
+	}
+}
+
+// Decomposition: X ↦ Y implies the order compatibility X ∼ Y
+// (OD ≡ OC + OFD, Sec. 2.2).
+func TestAxiomODImpliesOC(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	checked := 0
+	for iter := 0; iter < 1500 && checked < 150; iter++ {
+		tbl := axiomTable(rng, 2+rng.Intn(20), 3)
+		x := randList(rng, 3, 2)
+		y := randList(rng, 3, 2)
+		if ok, _ := ExactListOD(tbl, x, y); !ok {
+			continue
+		}
+		checked++
+		if !ExactListOC(tbl, x, y) {
+			t.Fatalf("iter %d: %v ↦ %v holds but %v ∼ %v does not", iter, x, y, x, y)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d OD premises found", checked)
+	}
+}
+
+// Prefix: X ↦ Y implies X ↦ Y' for every prefix Y' of Y.
+func TestAxiomPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	checked := 0
+	for iter := 0; iter < 1500 && checked < 150; iter++ {
+		tbl := axiomTable(rng, 2+rng.Intn(20), 4)
+		x := randList(rng, 4, 2)
+		y := randList(rng, 4, 3)
+		if ok, _ := ExactListOD(tbl, x, y); !ok {
+			continue
+		}
+		checked++
+		for p := 0; p <= len(y); p++ {
+			if ok, _ := ExactListOD(tbl, x, y[:p]); !ok {
+				t.Fatalf("iter %d: %v ↦ %v holds but not for prefix %v", iter, x, y, y[:p])
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d premises found", checked)
+	}
+}
+
+// Normalization/augmentation flavour: X ↦ Y implies XZ ↦ Y for any Z
+// appended to the left list (a finer left order can only preserve the OD).
+func TestAxiomLeftAugmentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	checked := 0
+	for iter := 0; iter < 1500 && checked < 150; iter++ {
+		tbl := axiomTable(rng, 2+rng.Intn(20), 4)
+		x := randList(rng, 4, 2)
+		y := randList(rng, 4, 2)
+		if ok, _ := ExactListOD(tbl, x, y); !ok {
+			continue
+		}
+		checked++
+		// Append an arbitrary attribute to X.
+		z := rng.Intn(4)
+		xz := append(append([]int{}, x...), z)
+		if ok, w := ExactListOD(tbl, xz, y); !ok {
+			t.Fatalf("iter %d: %v ↦ %v holds but %v ↦ %v does not (witness %v)",
+				iter, x, y, xz, y, w)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d premises found", checked)
+	}
+}
+
+// Symmetry of ∼: X ∼ Y iff Y ∼ X.
+func TestAxiomOCSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	for iter := 0; iter < 300; iter++ {
+		tbl := axiomTable(rng, 2+rng.Intn(20), 3)
+		x := randList(rng, 3, 2)
+		y := randList(rng, 3, 2)
+		if ExactListOC(tbl, x, y) != ExactListOC(tbl, y, x) {
+			t.Fatalf("iter %d: OC symmetry violated for %v, %v", iter, x, y)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package validate
+
+import (
+	"sort"
+
+	"aod/internal/dataset"
+	"aod/internal/lis"
+	"aod/internal/partition"
+)
+
+// IterativeAOC is Algorithm 1 of the paper — the approximate-OC validator of
+// Szlichta et al. [9, 10] that the paper's optimal algorithm replaces. Within
+// each context class it orders tuples by [A asc, B asc], computes per-tuple
+// swap counts by counting inversions of the B-projection (line 4), and then
+// repeatedly removes a tuple with the largest swap count, updating the counts
+// of the remaining tuples (lines 6–15), until no swaps remain or the removal
+// budget ε·|r| is exceeded (in which case the candidate is INVALID — reported
+// here as Valid=false with Aborted=true).
+//
+// Properties faithfully reproduced:
+//   - runtime O(n log n + ε n²): each removal costs O(m) to update counts;
+//   - the removal set is NOT guaranteed minimal (greedy can overestimate —
+//     Example 3.1), so Result.Removals can exceed OptimalAOC's.
+//
+// Tie-breaking follows the paper's "order t by swapCnt ASC … t.dropLast()"
+// with a stable order: among maximal-count tuples, the one latest in the
+// current [A asc, B asc] order is removed.
+func (v *Validator) IterativeAOC(ctx *partition.Stripped, a, b *dataset.Column, opts Options) Result {
+	n := ctx.N
+	budget := removalBudget(opts.Threshold, n)
+	ra, rb := a.Ranks(), b.Ranks()
+	removals := 0
+	aborted := false
+	var removed []int32
+
+	maxRank := int32(b.NumDistinct())
+	for _, cls := range ctx.Classes {
+		v.load(cls, ra, rb)
+		sort.Sort(&pairSorter{a: v.a, b: v.b, rows: v.rows})
+		m := len(cls)
+		cnt, _ := lis.InversionCounts(v.b, maxRank)
+		alive := make([]bool, m)
+		for i := range alive {
+			alive[i] = true
+		}
+		for {
+			// Find the max-count tuple; ties go to the largest position
+			// (paper: stable ascending sort by count, then drop the last).
+			best, bestCnt := -1, int32(0)
+			for i := 0; i < m; i++ {
+				if alive[i] && cnt[i] >= bestCnt && cnt[i] > 0 {
+					best, bestCnt = i, cnt[i]
+				}
+			}
+			if best < 0 {
+				break // no swaps remain in this class
+			}
+			alive[best] = false
+			removals++
+			if opts.CollectRemovals {
+				removed = append(removed, v.rows[best])
+			}
+			if removals > budget && !opts.ComputeFullError {
+				aborted = true
+				break
+			}
+			// Update the counts of remaining tuples that formed a swap with
+			// the removed tuple (lines 9–11). Positions are in [A asc, B asc]
+			// order, so position p < q is a swap iff A differs and B inverts.
+			for i := 0; i < m; i++ {
+				if !alive[i] {
+					continue
+				}
+				if i < best {
+					if v.a[i] != v.a[best] && v.b[best] < v.b[i] {
+						cnt[i]--
+					}
+				} else if i > best {
+					if v.a[i] != v.a[best] && v.b[i] < v.b[best] {
+						cnt[i]--
+					}
+				}
+			}
+		}
+		if aborted {
+			break
+		}
+	}
+	return finish(removals, n, opts, aborted, removed)
+}

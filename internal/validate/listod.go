@@ -1,0 +1,115 @@
+package validate
+
+import (
+	"sort"
+
+	"aod/internal/dataset"
+	"aod/internal/lis"
+)
+
+// cmpProj lexicographically compares the projections of two rows onto the
+// attribute list cols, under the nested order of Def. 2.1 (which, on
+// rank-encoded total orders, is exactly lexicographic comparison).
+func cmpProj(t *dataset.Table, cols []int, ri, rj int32) int {
+	for _, c := range cols {
+		ranks := t.Column(c).Ranks()
+		if ranks[ri] != ranks[rj] {
+			if ranks[ri] < ranks[rj] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// ExactListOD verifies the list-based OD X ↦ Y (Def. 2.2) on the whole
+// table: for all tuple pairs, s ⪯X t implies s ⪯Y t. It returns whether the
+// OD holds and, when it fails, a witness pair of rows.
+func ExactListOD(t *dataset.Table, x, y []int) (holds bool, witness [2]int32) {
+	n := t.NumRows()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if c := cmpProj(t, x, order[i], order[j]); c != 0 {
+			return c < 0
+		}
+		return cmpProj(t, y, order[i], order[j]) < 0
+	})
+	// Split check: equal X projections must have equal Y projections.
+	// Swap check: across strictly increasing X, Y must be non-decreasing.
+	var maxPrevRow int32 = -1 // row with lexicographically max Y in earlier X-groups
+	var groupMaxRow int32 = -1
+	for i := 0; i < n; i++ {
+		row := order[i]
+		newGroup := i == 0 || cmpProj(t, x, order[i-1], row) != 0
+		if newGroup {
+			if groupMaxRow >= 0 && (maxPrevRow < 0 || cmpProj(t, y, maxPrevRow, groupMaxRow) < 0) {
+				maxPrevRow = groupMaxRow
+			}
+			groupMaxRow = -1
+		} else if cmpProj(t, y, order[i-1], row) != 0 {
+			return false, [2]int32{order[i-1], row} // split
+		}
+		if maxPrevRow >= 0 && cmpProj(t, y, row, maxPrevRow) < 0 {
+			return false, [2]int32{maxPrevRow, row} // swap
+		}
+		if groupMaxRow < 0 || cmpProj(t, y, groupMaxRow, row) < 0 {
+			groupMaxRow = row
+		}
+	}
+	return true, [2]int32{-1, -1}
+}
+
+// ListAOD validates the list-based approximate OD X ↦ Y (footnote 1 of the
+// paper): tuples are ordered ascending by X with ties broken by Y
+// *descending*; the complement of one longest Y-non-decreasing subsequence
+// (lexicographic) is then a minimal removal set eliminating both swaps and
+// splits. Runtime O(|Y| · n log n).
+func ListAOD(t *dataset.Table, x, y []int, opts Options) Result {
+	n := t.NumRows()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if c := cmpProj(t, x, order[i], order[j]); c != 0 {
+			return c < 0
+		}
+		return cmpProj(t, y, order[i], order[j]) > 0 // ties: Y descending
+	})
+	keep := lis.LNDSFunc(n, func(i, j int) int {
+		return cmpProj(t, y, order[i], order[j])
+	})
+	removals := n - len(keep)
+	var removed []int32
+	if opts.CollectRemovals {
+		k := 0
+		for i := 0; i < n; i++ {
+			if k < len(keep) && keep[k] == i {
+				k++
+				continue
+			}
+			removed = append(removed, order[i])
+		}
+	}
+	return finish(removals, n, opts, false, removed)
+}
+
+// ExactListOC verifies the list-based order compatibility X ∼ Y (Def. 2.3):
+// XY ↔ YX, i.e. there is a total order of the tuples sorted by both X and Y.
+func ExactListOC(t *dataset.Table, x, y []int) bool {
+	// X ∼ Y iff XY ↦ YX and YX ↦ XY. Equivalently, sorting by X with ties by
+	// Y must leave Y-groups non-decreasing and vice versa; checking both
+	// directions via ExactListOD on the concatenated lists is simplest and
+	// matches Def. 2.3 literally.
+	xy := append(append([]int{}, x...), y...)
+	yx := append(append([]int{}, y...), x...)
+	if ok, _ := ExactListOD(t, xy, yx); !ok {
+		return false
+	}
+	ok, _ := ExactListOD(t, yx, xy)
+	return ok
+}

@@ -1,0 +1,91 @@
+package aod
+
+import (
+	"aod/internal/repair"
+	"aod/internal/validate"
+)
+
+// Repair is a suggested fix for one tuple flagged by an approximate order
+// compatibility: replacing the tuple's B-value with any value in [Lo, Hi]
+// makes it consistent with the kept tuples of its group. Empty Lo/Hi mean
+// the interval is unbounded on that side.
+type Repair struct {
+	// Row is the flagged tuple.
+	Row int
+	// Column is the right-side column whose value the suggestion targets.
+	Column string
+	// Current is the tuple's current value (display form).
+	Current string
+	// Lo and Hi bound the consistent value range (display form; inclusive).
+	Lo, Hi string
+}
+
+// SuggestRepairs validates the AOC "context: a ∼ b" with the optimal
+// validator and returns one repair suggestion per tuple of the minimal
+// removal set — the error-repair workflow of the paper's Fig. 1 (after [7]).
+func SuggestRepairs(d *Dataset, context []string, a, b string) ([]Repair, error) {
+	ca, cb, ctx, err := resolve(d, context, a, b)
+	if err != nil {
+		return nil, err
+	}
+	v := validate.New()
+	r := v.OptimalAOC(ctx, d.table().Column(ca), d.table().Column(cb),
+		validate.Options{Threshold: 1, CollectRemovals: true})
+	sugs := repair.ForOC(d.table(), ctx, ca, cb, r.RemovalRows)
+	out := make([]Repair, 0, len(sugs))
+	bcol := d.table().Column(cb)
+	for _, s := range sugs {
+		rep := Repair{
+			Row:     int(s.Row),
+			Column:  b,
+			Current: bcol.ValueString(int(s.Row)),
+		}
+		if s.LoRow >= 0 {
+			rep.Lo = bcol.ValueString(int(s.LoRow))
+		}
+		if s.HiRow >= 0 {
+			rep.Hi = bcol.ValueString(int(s.HiRow))
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Suspect is a row flagged by the removal sets of multiple discovered
+// dependencies.
+type Suspect struct {
+	// Row is the flagged tuple.
+	Row int
+	// Hits is the number of dependencies whose minimal removal set contains
+	// the row.
+	Hits int
+}
+
+// Suspects ranks rows by how many discovered dependencies flag them as
+// exceptions — the outlier-detection workflow of the paper's Fig. 1. The
+// report must have been produced with Options.CollectRemovalSets; rows with
+// fewer than minHits flags are dropped.
+func Suspects(rep *Report, minHits int) []Suspect {
+	var sets [][]int32
+	for _, oc := range rep.OCs {
+		sets = append(sets, toInt32s(oc.RemovalRows))
+	}
+	for _, ofd := range rep.OFDs {
+		sets = append(sets, toInt32s(ofd.RemovalRows))
+	}
+	var out []Suspect
+	for _, s := range repair.Suspicions(sets) {
+		if s.Hits >= minHits {
+			out = append(out, Suspect{Row: int(s.Row), Hits: s.Hits})
+		}
+	}
+	return out
+}
+
+func toInt32s(rows []int) []int32 {
+	out := make([]int32, len(rows))
+	for i, r := range rows {
+		out[i] = int32(r)
+	}
+	return out
+}
