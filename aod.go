@@ -76,6 +76,12 @@ func (d *Dataset) Value(row int, column string) (string, error) {
 // String summarizes the dataset schema.
 func (d *Dataset) String() string { return d.tbl.String() }
 
+// Fingerprint returns a hex-encoded SHA-256 content hash over the dataset's
+// schema and column data. Equal fingerprints guarantee identical discovery
+// results for identical options, which makes the fingerprint a safe cache
+// and deduplication key (used by the aodserver dataset registry).
+func (d *Dataset) Fingerprint() string { return dataset.Fingerprint(d.tbl) }
+
 // table exposes the internal representation to sibling files.
 func (d *Dataset) table() *dataset.Table { return d.tbl }
 

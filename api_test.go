@@ -1,0 +1,155 @@
+package aod
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := NewBuilder().
+		AddStrings("pos", []string{"secr", "secr", "secr", "mngr", "mngr", "mngr", "direc", "direc", "direc"}).
+		AddInts("exp", []int64{2, 3, 4, 4, 5, 6, 6, 7, 8}).
+		AddInts("sal", []int64{45, 50, 55, 70, 75, 80, 100, 110, 120}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	ds := testDataset(t)
+	rep, err := Discover(ds, Options{Threshold: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		OCs []struct {
+			Context []string `json:"context"`
+			A       string   `json:"a"`
+			B       string   `json:"b"`
+			Error   float64  `json:"error"`
+			Level   int      `json:"level"`
+		} `json:"ocs"`
+		OFDs  []json.RawMessage `json:"ofds"`
+		Stats struct {
+			Rows  int `json:"rows"`
+			Attrs int `json:"attrs"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decoding report JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Stats.Rows != 9 || decoded.Stats.Attrs != 3 {
+		t.Errorf("stats = %+v", decoded.Stats)
+	}
+	if len(decoded.OCs) == 0 {
+		t.Fatal("no OCs serialized")
+	}
+	// IncludeOFDs was off: the list must be an empty array, not null.
+	if decoded.OFDs == nil {
+		t.Error("ofds serialized as null, want []")
+	}
+	found := false
+	for _, oc := range decoded.OCs {
+		// exp and sal are globally monotone in this table, so the minimal OC
+		// has the empty context.
+		if oc.A == "exp" && oc.B == "sal" && oc.Context != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exp ∼ sal not in serialized OCs: %s", buf.String())
+	}
+
+	// The empty-context OC at the top level must serialize context as [].
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range raw["ocs"].([]any) {
+		if oc.(map[string]any)["context"] == nil {
+			t.Error("an OC context serialized as null, want []")
+		}
+	}
+}
+
+func TestAlgorithmTextRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{AlgorithmOptimal, AlgorithmExact, AlgorithmIterative} {
+		text, err := a.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Algorithm
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != a {
+			t.Errorf("round trip %q: got %v, want %v", text, back, a)
+		}
+	}
+	var a Algorithm
+	if err := a.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("unmarshal of unknown algorithm should fail")
+	}
+	b, err := json.Marshal(Options{Algorithm: AlgorithmIterative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"algorithm":"iterative"`)) {
+		t.Errorf("options JSON = %s", b)
+	}
+}
+
+func TestDatasetFingerprint(t *testing.T) {
+	a, b := testDataset(t), testDataset(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical datasets have different fingerprints")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Errorf("fingerprint length %d, want 64 hex chars", len(a.Fingerprint()))
+	}
+	// A single changed value changes the fingerprint.
+	c, err := NewBuilder().
+		AddStrings("pos", []string{"secr", "secr", "secr", "mngr", "mngr", "mngr", "direc", "direc", "direc"}).
+		AddInts("exp", []int64{2, 3, 4, 4, 5, 6, 6, 7, 9}).
+		AddInts("sal", []int64{45, 50, 55, 70, 75, 80, 100, 110, 120}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("changed value kept the fingerprint")
+	}
+	// A renamed column changes the fingerprint (schema is hashed).
+	d, err := NewBuilder().
+		AddStrings("role", []string{"secr", "secr", "secr", "mngr", "mngr", "mngr", "direc", "direc", "direc"}).
+		AddInts("exp", []int64{2, 3, 4, 4, 5, 6, 6, 7, 8}).
+		AddInts("sal", []int64{45, 50, 55, 70, 75, 80, 100, 110, 120}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("renamed column kept the fingerprint")
+	}
+}
+
+func TestDiscoverContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := DiscoverContext(ctx, testDataset(t), Options{Threshold: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stats.Canceled {
+		t.Error("Stats.Canceled not set for pre-canceled context")
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	aodiscover [-threshold 0.1] [-algorithm optimal|exact|iterative]
 //	           [-max-level N] [-ofds] [-removals] [-max-rows N]
-//	           [-columns a,b,c] [-top N] file.csv
+//	           [-columns a,b,c] [-top N] [-json] file.csv
 //
 // Example:
 //
@@ -34,6 +34,7 @@ func main() {
 	timeLimit := flag.Duration("time-limit", 0, "abort discovery after this duration")
 	bidirectional := flag.Bool("bidirectional", false, "also search mixed-direction OCs (A ∼ B↓)")
 	parallelism := flag.Int("parallelism", 0, "validate each lattice level across N workers (0 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (the same stable schema the aodserver API returns)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -43,15 +44,8 @@ func main() {
 	}
 
 	var alg aod.Algorithm
-	switch strings.ToLower(*algorithm) {
-	case "optimal":
-		alg = aod.AlgorithmOptimal
-	case "exact":
-		alg = aod.AlgorithmExact
-	case "iterative":
-		alg = aod.AlgorithmIterative
-	default:
-		fmt.Fprintf(os.Stderr, "aodiscover: unknown algorithm %q\n", *algorithm)
+	if err := alg.UnmarshalText([]byte(strings.ToLower(*algorithm))); err != nil {
+		fmt.Fprintln(os.Stderr, "aodiscover:", err)
 		os.Exit(2)
 	}
 
@@ -64,7 +58,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aodiscover:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("loaded %s\n", ds)
+	if !*jsonOut {
+		fmt.Printf("loaded %s\n", ds)
+	}
 
 	rep, err := aod.Discover(ds, aod.Options{
 		Threshold:          *threshold,
@@ -81,6 +77,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -top truncation is shared by both output formats.
+	totalOCs, totalOFDs := len(rep.OCs), len(rep.OFDs)
+	if *top > 0 {
+		if len(rep.OCs) > *top {
+			rep.OCs = rep.OCs[:*top]
+		}
+		if len(rep.OFDs) > *top {
+			rep.OFDs = rep.OFDs[:*top]
+		}
+	}
+
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aodiscover:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	st := rep.Stats
 	fmt.Printf("discovery: %s total (%.1f%% validation), %d nodes, %d OC / %d OFD candidates",
 		st.TotalTime.Round(time.Millisecond), st.ValidationShare()*100,
@@ -91,10 +106,7 @@ func main() {
 	fmt.Println()
 
 	ocs := rep.OCs
-	if *top > 0 && len(ocs) > *top {
-		ocs = ocs[:*top]
-	}
-	fmt.Printf("\n%d order compatibilities (showing %d):\n", len(rep.OCs), len(ocs))
+	fmt.Printf("\n%d order compatibilities (showing %d):\n", totalOCs, len(ocs))
 	for _, oc := range ocs {
 		fmt.Printf("  %-60s score=%.3f level=%d\n", oc.String(), oc.Score, oc.Level)
 		if *removals && len(oc.RemovalRows) > 0 {
@@ -103,10 +115,7 @@ func main() {
 	}
 	if *ofds {
 		ofdList := rep.OFDs
-		if *top > 0 && len(ofdList) > *top {
-			ofdList = ofdList[:*top]
-		}
-		fmt.Printf("\n%d order functional dependencies (showing %d):\n", len(rep.OFDs), len(ofdList))
+		fmt.Printf("\n%d order functional dependencies (showing %d):\n", totalOFDs, len(ofdList))
 		for _, ofd := range ofdList {
 			fmt.Printf("  %-60s score=%.3f level=%d\n", ofd.String(), ofd.Score, ofd.Level)
 			if *removals && len(ofd.RemovalRows) > 0 {

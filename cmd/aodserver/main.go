@@ -1,0 +1,91 @@
+// Command aodserver serves (approximate) order-dependency discovery as an
+// async HTTP JSON service: upload datasets once, submit discovery jobs
+// against them, poll for results, cancel long runs. Identical re-submissions
+// (same dataset content, same effective options) are served from an LRU
+// result cache without re-validating.
+//
+// Usage:
+//
+//	aodserver [-addr :8711] [-workers N] [-queue N] [-cache N]
+//	          [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
+//
+// Endpoints (see the README for a curl walkthrough):
+//
+//	POST   /datasets        upload a CSV body, returns the dataset record
+//	GET    /datasets        list datasets
+//	GET    /datasets/{id}   one dataset record
+//	POST   /jobs            submit {"datasetId": ..., "options": {...}}
+//	GET    /jobs            list jobs
+//	GET    /jobs/{id}       job status + report once done
+//	DELETE /jobs/{id}       cancel a job
+//	GET    /healthz         liveness probe
+//	GET    /stats           counters (jobs, cache hits/misses, in-flight, ...)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"aod/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8711", "listen address (host:port; port 0 picks an ephemeral port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "discovery worker-pool size")
+	queue := flag.Int("queue", 64, "job queue depth (backpressure bound; negative = unbounded)")
+	cacheSize := flag.Int("cache", 128, "result-cache capacity in reports (negative disables)")
+	maxDatasets := flag.Int("max-datasets", 256, "dataset registry bound (negative = unbounded)")
+	maxJobs := flag.Int("max-jobs", 1024, "retained job-record bound; oldest finished jobs are evicted (negative = unbounded)")
+	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "maximum CSV upload size in bytes")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		MaxDatasets:   *maxDatasets,
+		MaxJobHistory: *maxJobs,
+	})
+	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodserver:", err)
+		os.Exit(1)
+	}
+	// The resolved address matters when port 0 was requested.
+	fmt.Printf("aodserver listening on %s (%d workers, queue %d, cache %d)\n",
+		ln.Addr(), *workers, *queue, *cacheSize)
+
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("aodserver: %s — shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "aodserver: shutdown:", err)
+		}
+		svc.Close()
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "aodserver:", err)
+			svc.Close()
+			os.Exit(1)
+		}
+	}
+}

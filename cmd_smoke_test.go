@@ -1,11 +1,17 @@
 package aod
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCLISmoke builds every command and exercises the end-user workflow:
@@ -20,6 +26,7 @@ func TestCLISmoke(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bins := map[string]string{}
+	// aodserver is built and exercised by TestAODServerSmoke.
 	for _, tool := range []string{"aodiscover", "aodvalidate", "datagen", "aodbench"} {
 		out := filepath.Join(dir, tool)
 		if runtime.GOOS == "windows" {
@@ -53,6 +60,19 @@ func TestCLISmoke(t *testing.T) {
 		t.Errorf("aodiscover did not find {pos}: exp ∼ sal:\n%s", out)
 	}
 
+	// -json must emit the stable Report schema (and nothing else).
+	out = run("aodiscover", "-threshold", "0.12", "-ofds", "-json", csvPath)
+	var jsonRep struct {
+		OCs   []map[string]any `json:"ocs"`
+		OFDs  []map[string]any `json:"ofds"`
+		Stats map[string]any   `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &jsonRep); err != nil {
+		t.Errorf("aodiscover -json output is not valid JSON: %v\n%s", err, out)
+	} else if len(jsonRep.OCs) == 0 || jsonRep.Stats["rows"] != float64(9) {
+		t.Errorf("aodiscover -json report unexpected: %s", out)
+	}
+
 	out = run("aodvalidate", "-a", "sal", "-b", "tax", "-threshold", "0.5", "-compare", csvPath)
 	if !strings.Contains(out, "0.4444") || !strings.Contains(out, "0.5556") {
 		t.Errorf("aodvalidate did not reproduce Examples 2.15/3.1:\n%s", out)
@@ -83,5 +103,134 @@ func TestCLISmoke(t *testing.T) {
 	}
 	if _, err := exec.Command(bins["aodbench"], "-scale", "galactic").CombinedOutput(); err == nil {
 		t.Error("aodbench should reject unknown scales")
+	}
+}
+
+// TestAODServerSmoke boots the real aodserver binary on an ephemeral port
+// and walks the upload → submit → poll → cache-hit workflow over HTTP.
+func TestAODServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "aodserver")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	if msg, err := exec.Command(goBin, "build", "-o", bin, "./cmd/aodserver").CombinedOutput(); err != nil {
+		t.Fatalf("building aodserver: %v\n%s", err, msg)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The first line announces the resolved ephemeral address.
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatal("aodserver produced no output")
+	}
+	line := scanner.Text()
+	fields := strings.Fields(line) // aodserver listening on HOST:PORT (...)
+	if len(fields) < 4 || fields[1] != "listening" {
+		t.Fatalf("unexpected startup line: %q", line)
+	}
+	base := "http://" + fields[3]
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if out := get("/healthz"); !strings.Contains(out, "ok") {
+		t.Fatalf("/healthz = %q", out)
+	}
+
+	csv := "pos,exp,sal\nsecr,2,45\nsecr,3,50\nmngr,4,70\nmngr,5,75\ndirec,6,100\ndirec,7,110\n"
+	resp, err := http.Post(base+"/datasets?name=smoke", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.ID == "" {
+		t.Fatal("dataset upload returned no id")
+	}
+
+	submit := func() string {
+		t.Helper()
+		body := fmt.Sprintf(`{"datasetId": %q, "options": {"threshold": 0.12}}`, info.ID)
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var job struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		return job.ID
+	}
+	poll := func(id string) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			var job map[string]any
+			if err := json.Unmarshal([]byte(get("/jobs/"+id)), &job); err != nil {
+				t.Fatal(err)
+			}
+			switch job["state"] {
+			case "done":
+				return job
+			case "failed", "canceled":
+				t.Fatalf("job %s: %v", id, job)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("job %s never finished", id)
+		return nil
+	}
+	poll(submit())
+	second := poll(submit())
+	if second["cacheHit"] != true {
+		t.Errorf("second identical job should be a cache hit: %v", second)
+	}
+	var stats struct {
+		CacheHits      uint64 `json:"cacheHits"`
+		ValidationRuns uint64 `json:"validationRuns"`
+	}
+	if err := json.Unmarshal([]byte(get("/stats")), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ValidationRuns != 1 || stats.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 validation run and 1 cache hit", stats)
 	}
 }

@@ -1,6 +1,7 @@
 package aod
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -28,6 +29,35 @@ const (
 // String names the algorithm as in the paper's figures.
 func (a Algorithm) String() string { return a.kind().String() }
 
+// MarshalText encodes the algorithm as its stable lower-case name
+// ("optimal", "exact", "iterative"), used by the JSON API and CLI flags.
+func (a Algorithm) MarshalText() ([]byte, error) {
+	switch a {
+	case AlgorithmExact:
+		return []byte("exact"), nil
+	case AlgorithmIterative:
+		return []byte("iterative"), nil
+	default:
+		return []byte("optimal"), nil
+	}
+}
+
+// UnmarshalText parses an algorithm name accepted by MarshalText (the empty
+// string selects the default optimal validator).
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "optimal", "":
+		*a = AlgorithmOptimal
+	case "exact":
+		*a = AlgorithmExact
+	case "iterative":
+		*a = AlgorithmIterative
+	default:
+		return fmt.Errorf("aod: unknown algorithm %q (want optimal, exact, or iterative)", text)
+	}
+	return nil
+}
+
 func (a Algorithm) kind() core.ValidatorKind {
 	switch a {
 	case AlgorithmExact:
@@ -39,6 +69,10 @@ func (a Algorithm) kind() core.ValidatorKind {
 	}
 }
 
+// DefaultSampleSlack is the hybrid-sampling rejection margin applied when
+// Options.SampleSlack is zero and SampleStride enables sampling.
+const DefaultSampleSlack = core.DefaultSampleSlack
+
 // Options configures Discover. The zero value runs the optimal validator
 // with threshold 0 (equivalent to exact discovery); set Threshold to the
 // tolerated exception fraction (the paper's experiments default to 0.10) to
@@ -46,59 +80,87 @@ func (a Algorithm) kind() core.ValidatorKind {
 type Options struct {
 	// Threshold is the approximation threshold ε ∈ [0,1]: a dependency is
 	// reported when at most ε·|rows| tuples must be removed for it to hold.
-	Threshold float64
-	// Algorithm selects the validator (default AlgorithmOptimal).
-	Algorithm Algorithm
+	Threshold float64 `json:"threshold,omitempty"`
+	// Algorithm selects the validator (default AlgorithmOptimal). In JSON it
+	// is the string "optimal", "exact", or "iterative".
+	Algorithm Algorithm `json:"algorithm,omitempty"`
 	// MaxLevel bounds the attribute-lattice level explored (0 = unbounded).
-	MaxLevel int
+	MaxLevel int `json:"maxLevel,omitempty"`
 	// IncludeOFDs also reports order functional dependencies (constancy
 	// dependencies); OCs are always reported.
-	IncludeOFDs bool
+	IncludeOFDs bool `json:"includeOFDs,omitempty"`
 	// CollectRemovalSets attaches minimal removal sets to each dependency.
-	CollectRemovalSets bool
+	CollectRemovalSets bool `json:"collectRemovalSets,omitempty"`
 	// TimeLimit aborts discovery after this duration with partial results
-	// (Stats.TimedOut set). 0 disables.
-	TimeLimit time.Duration
+	// (Stats.TimedOut set). 0 disables. JSON: integer nanoseconds.
+	TimeLimit time.Duration `json:"timeLimitNs,omitempty"`
 	// Parallelism > 1 validates each lattice level's candidates across that
 	// many workers (0 or 1 = sequential). Results are identical to the
 	// sequential run.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// SampleStride > 1 enables hybrid-sampling pre-filtering of AOC
 	// candidates (the paper's future-work direction): candidates whose
 	// error estimate on every SampleStride-th tuple exceeds
 	// Threshold+SampleSlack are rejected without a full validation. All
 	// reported dependencies are still fully validated; the mode trades a
 	// small completeness risk for validation time.
-	SampleStride int
-	// SampleSlack is the hybrid-sampling rejection margin (0 = default 0.05).
-	SampleSlack float64
+	SampleStride int `json:"sampleStride,omitempty"`
+	// SampleSlack is the hybrid-sampling rejection margin
+	// (0 = DefaultSampleSlack).
+	SampleSlack float64 `json:"sampleSlack,omitempty"`
 	// Bidirectional additionally searches mixed-direction order
 	// compatibilities "A ∼ B↓" (A ascending, B descending), after the
 	// bidirectional OD framework the paper builds upon.
-	Bidirectional bool
+	Bidirectional bool `json:"bidirectional,omitempty"`
+}
+
+func (o Options) config() core.Config {
+	return core.Config{
+		Threshold:          o.Threshold,
+		Validator:          o.Algorithm.kind(),
+		MaxLevel:           o.MaxLevel,
+		IncludeOFDs:        o.IncludeOFDs,
+		CollectRemovalSets: o.CollectRemovalSets,
+		TimeLimit:          o.TimeLimit,
+		SampleStride:       o.SampleStride,
+		SampleSlack:        o.SampleSlack,
+		Bidirectional:      o.Bidirectional,
+	}
+}
+
+// Validate checks the options against a schema width (number of columns),
+// applying exactly the checks Discover would perform before running. It lets
+// services reject invalid submissions up front instead of queueing a job
+// doomed to fail.
+func (o Options) Validate(numAttrs int) error {
+	return o.config().Validate(numAttrs)
 }
 
 // OC is a discovered (approximate) order compatibility: within each group of
 // rows agreeing on Context, A and B can be sorted simultaneously after
 // removing Removals rows table-wide.
+//
+// The JSON field names below are a stable serialization contract shared by
+// the aodserver HTTP API and the aodiscover -json output.
 type OC struct {
 	// Context holds the context column names (possibly empty).
-	Context []string
+	Context []string `json:"context"`
 	// A and B are the order-compatible columns.
-	A, B string
+	A string `json:"a"`
+	B string `json:"b"`
 	// Descending marks a mixed-direction OC (A ascending, B descending),
 	// reported only under Options.Bidirectional.
-	Descending bool
+	Descending bool `json:"descending,omitempty"`
 	// Error is the approximation factor e ∈ [0,1] (0 = holds exactly).
-	Error float64
+	Error float64 `json:"error"`
 	// Removals is the removal-set size behind Error.
-	Removals int
+	Removals int `json:"removals"`
 	// Level is the lattice level at which the dependency was found.
-	Level int
+	Level int `json:"level"`
 	// Score is the interestingness score (higher = more interesting).
-	Score float64
+	Score float64 `json:"score"`
 	// RemovalRows holds minimal-removal-set row indexes when requested.
-	RemovalRows []int
+	RemovalRows []int `json:"removalRows,omitempty"`
 }
 
 // String renders the OC in the paper's canonical notation; mixed-direction
@@ -115,13 +177,13 @@ func (d OC) String() string {
 // constant within each group of rows agreeing on Context, up to Removals
 // exceptions.
 type OFD struct {
-	Context     []string
-	A           string
-	Error       float64
-	Removals    int
-	Level       int
-	Score       float64
-	RemovalRows []int
+	Context     []string `json:"context"`
+	A           string   `json:"a"`
+	Error       float64  `json:"error"`
+	Removals    int      `json:"removals"`
+	Level       int      `json:"level"`
+	Score       float64  `json:"score"`
+	RemovalRows []int    `json:"removalRows,omitempty"`
 }
 
 // String renders the OFD in the paper's canonical notation.
@@ -129,26 +191,34 @@ func (d OFD) String() string {
 	return fmt.Sprintf("{%s}: [] ↦ %s (e=%.4f)", strings.Join(d.Context, ","), d.A, d.Error)
 }
 
-// Stats instruments a discovery run.
+// Stats instruments a discovery run. Durations serialize to JSON as integer
+// nanoseconds (Go's time.Duration encoding).
 type Stats struct {
 	// Rows and Attrs describe the input.
-	Rows, Attrs int
+	Rows  int `json:"rows"`
+	Attrs int `json:"attrs"`
 	// LevelsProcessed is the number of lattice levels examined.
-	LevelsProcessed int
+	LevelsProcessed int `json:"levelsProcessed"`
 	// NodesProcessed counts attribute sets whose candidates were examined.
-	NodesProcessed int
+	NodesProcessed int `json:"nodesProcessed"`
 	// OCCandidates and OFDCandidates count validated candidates.
-	OCCandidates, OFDCandidates int
+	OCCandidates  int `json:"ocCandidates"`
+	OFDCandidates int `json:"ofdCandidates"`
 	// OCsFoundPerLevel / OFDsFoundPerLevel index discovered counts by level.
-	OCsFoundPerLevel, OFDsFoundPerLevel []int
+	OCsFoundPerLevel  []int `json:"ocsFoundPerLevel"`
+	OFDsFoundPerLevel []int `json:"ofdsFoundPerLevel"`
 	// ValidationTime is wall-clock time inside validators; PartitionTime is
 	// time spent building partitions; TotalTime is end-to-end.
-	ValidationTime, PartitionTime, TotalTime time.Duration
+	ValidationTime time.Duration `json:"validationTimeNs"`
+	PartitionTime  time.Duration `json:"partitionTimeNs"`
+	TotalTime      time.Duration `json:"totalTimeNs"`
 	// TimedOut reports a TimeLimit abort (results are partial).
-	TimedOut bool
+	TimedOut bool `json:"timedOut,omitempty"`
+	// Canceled reports a context cancellation mid-run (results are partial).
+	Canceled bool `json:"canceled,omitempty"`
 	// EarlyStopped reports that discovery ended before exhausting the
 	// lattice because no candidates remained.
-	EarlyStopped bool
+	EarlyStopped bool `json:"earlyStopped,omitempty"`
 }
 
 // ValidationShare returns ValidationTime/TotalTime — the fraction of runtime
@@ -177,32 +247,32 @@ func (s Stats) AvgOCLevel() float64 {
 // Report is the result of a discovery run. Dependencies are ordered by
 // descending interestingness score.
 type Report struct {
-	OCs   []OC
-	OFDs  []OFD
-	Stats Stats
+	OCs   []OC  `json:"ocs"`
+	OFDs  []OFD `json:"ofds"`
+	Stats Stats `json:"stats"`
 }
 
 // Discover finds the complete set of minimal (approximate) order
 // compatibilities — and, optionally, order functional dependencies — that
 // hold on the dataset within the configured threshold.
 func Discover(d *Dataset, opts Options) (*Report, error) {
-	cfg := core.Config{
-		Threshold:          opts.Threshold,
-		Validator:          opts.Algorithm.kind(),
-		MaxLevel:           opts.MaxLevel,
-		IncludeOFDs:        opts.IncludeOFDs,
-		CollectRemovalSets: opts.CollectRemovalSets,
-		TimeLimit:          opts.TimeLimit,
-		SampleStride:       opts.SampleStride,
-		SampleSlack:        opts.SampleSlack,
-		Bidirectional:      opts.Bidirectional,
-	}
+	return DiscoverContext(context.Background(), d, opts)
+}
+
+// DiscoverContext is Discover with cooperative cancellation. The context is
+// polled between candidate validations; when it is canceled mid-run the
+// partial report is returned with Stats.Canceled set and a nil error, the
+// same contract as a TimeLimit abort. Long-running callers (services, job
+// queues) should prefer this entry point so canceled work stops consuming
+// CPU promptly.
+func DiscoverContext(ctx context.Context, d *Dataset, opts Options) (*Report, error) {
+	cfg := opts.config()
 	var res *core.Result
 	var err error
 	if opts.Parallelism > 1 {
-		res, err = core.DiscoverParallel(d.table(), cfg, opts.Parallelism)
+		res, err = core.DiscoverParallelContext(ctx, d.table(), cfg, opts.Parallelism)
 	} else {
-		res, err = core.Discover(d.table(), cfg)
+		res, err = core.DiscoverContext(ctx, d.table(), cfg)
 	}
 	if err != nil {
 		return nil, err
@@ -223,6 +293,7 @@ func Discover(d *Dataset, opts Options) (*Report, error) {
 			PartitionTime:     res.Stats.PartitionTime,
 			TotalTime:         res.Stats.TotalTime,
 			TimedOut:          res.Stats.TimedOut,
+			Canceled:          res.Stats.Canceled,
 			EarlyStopped:      res.Stats.EarlyStopped,
 		},
 	}

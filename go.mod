@@ -1,0 +1,3 @@
+module aod
+
+go 1.24

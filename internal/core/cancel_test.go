@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDiscoverContextPreCanceled: an already-canceled context aborts before
+// any level completes, mirroring the TimeLimit contract (partial result,
+// Canceled set, nil error).
+func TestDiscoverContextPreCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := randomTable(rng, 200, 5, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := DiscoverContext(ctx, tbl, Config{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Canceled {
+		t.Error("Stats.Canceled not set for a pre-canceled context")
+	}
+	if res.Stats.NodesProcessed != 0 {
+		t.Errorf("processed %d nodes under a pre-canceled context, want 0", res.Stats.NodesProcessed)
+	}
+}
+
+// TestDiscoverContextCancelMidRun cancels while discovery is in flight and
+// checks the run stops early with partial results, in both the sequential
+// and the parallel engines.
+func TestDiscoverContextCancelMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tbl := randomTable(rng, 1500, 7, 800)
+	full, err := Discover(tbl, Config{Threshold: 0.4, Validator: ValidatorIterative})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel at a tenth of the measured full runtime so the test scales
+	// with machine speed instead of assuming a fixed duration.
+	delay := full.Stats.TotalTime / 10
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	run := func(name string, f func(ctx context.Context) (*Result, error)) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		res, err := f(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Stats.Canceled && res.Stats.NodesProcessed >= full.Stats.NodesProcessed {
+			// The run outpaced the cancel goroutine entirely; no signal
+			// either way on a machine this fast relative to the scheduler.
+			t.Skipf("%s: run finished before the %v cancel fired", name, delay)
+		}
+		if !res.Stats.Canceled {
+			t.Errorf("%s: Stats.Canceled not set", name)
+		}
+		if res.Stats.NodesProcessed >= full.Stats.NodesProcessed {
+			t.Errorf("%s: processed %d nodes, full run processed %d — cancellation did not stop early",
+				name, res.Stats.NodesProcessed, full.Stats.NodesProcessed)
+		}
+	}
+	run("sequential", func(ctx context.Context) (*Result, error) {
+		return DiscoverContext(ctx, tbl, Config{Threshold: 0.4, Validator: ValidatorIterative})
+	})
+	run("parallel", func(ctx context.Context) (*Result, error) {
+		return DiscoverParallelContext(ctx, tbl, Config{Threshold: 0.4, Validator: ValidatorIterative}, 4)
+	})
+}
+
+// TestDiscoverContextBackgroundMatchesDiscover: a never-canceled context
+// changes nothing about the result.
+func TestDiscoverContextBackgroundMatchesDiscover(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tbl := randomTable(rng, 120, 5, 4)
+	cfg := Config{Threshold: 0.15, IncludeOFDs: true}
+	want, err := Discover(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DiscoverContext(context.Background(), tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Canceled {
+		t.Error("background context marked canceled")
+	}
+	if len(got.OCs) != len(want.OCs) || len(got.OFDs) != len(want.OFDs) {
+		t.Errorf("results differ: %d/%d OCs, %d/%d OFDs",
+			len(got.OCs), len(want.OCs), len(got.OFDs), len(want.OFDs))
+	}
+}

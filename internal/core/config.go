@@ -87,8 +87,8 @@ type Config struct {
 	// wildly overestimates its error is lost) for validation time. Ignored
 	// by the exact validator.
 	SampleStride int
-	// SampleSlack is the rejection margin for hybrid sampling; 0 means the
-	// default of 0.05.
+	// SampleSlack is the rejection margin for hybrid sampling; 0 means
+	// DefaultSampleSlack.
 	SampleSlack float64
 	// DisablePruning is an ablation switch: every candidate is validated
 	// even when minimality/constancy pruning could skip it (reported
@@ -110,6 +110,10 @@ type Config struct {
 	// searched separately.
 	Bidirectional bool
 }
+
+// DefaultSampleSlack is the hybrid-sampling rejection margin applied when
+// Config.SampleSlack is zero.
+const DefaultSampleSlack = 0.05
 
 // Validate checks the configuration against a schema width.
 func (c Config) Validate(numAttrs int) error {

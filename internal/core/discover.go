@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"aod/internal/dataset"
@@ -14,11 +15,22 @@ import (
 // configured validator and threshold (see the package comment for the exact
 // semantics and caveats of the iterative validator).
 func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
+	return DiscoverContext(context.Background(), tbl, cfg)
+}
+
+// DiscoverContext is Discover with cooperative cancellation: the context is
+// polled between candidate validations, so a canceled run stops within one
+// validation's latency instead of finishing the lattice. On cancellation the
+// partial result is returned with Stats.Canceled set and a nil error — the
+// same contract as a TimeLimit abort (callers that need the distinction can
+// inspect ctx.Err()).
+func DiscoverContext(ctx context.Context, tbl *dataset.Table, cfg Config) (*Result, error) {
 	numAttrs := tbl.NumCols()
 	if err := cfg.Validate(numAttrs); err != nil {
 		return nil, err
 	}
 	eng := &engine{
+		ctx:      ctx,
 		tbl:      tbl,
 		cfg:      cfg,
 		eps:      cfg.effectiveThreshold(),
@@ -37,6 +49,7 @@ func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
 }
 
 type engine struct {
+	ctx      context.Context // nil means non-cancellable (Background)
 	tbl      *dataset.Table
 	cfg      Config
 	eps      float64
@@ -61,6 +74,12 @@ func (e *engine) run() *Result {
 	t0 := time.Now()
 	e.singles = make([]*partition.Stripped, e.numAttrs)
 	for a := 0; a < e.numAttrs; a++ {
+		// Polled per column so cancellation doesn't pay for the whole
+		// O(cols · rows log rows) startup phase on large tables.
+		if e.aborted() {
+			st.PartitionTime += time.Since(t0)
+			return e.res
+		}
 		e.singles[a] = partition.Single(e.tbl.Column(a))
 	}
 	st.PartitionTime += time.Since(t0)
@@ -80,12 +99,14 @@ func (e *engine) run() *Result {
 		st.LevelsProcessed++
 		candidates := 0
 		for _, node := range cur.Nodes {
-			if e.timedOut() {
-				st.TimedOut = true
+			if e.aborted() {
 				return e.res
 			}
 			st.NodesProcessed++
 			candidates += e.processNode(node, prev, prev2)
+		}
+		if e.aborted() {
+			return e.res
 		}
 		// A candidate-free level stays candidate-free at every deeper level
 		// (validity state is upward-closed), so discovery can stop: this is
@@ -109,8 +130,20 @@ func (e *engine) run() *Result {
 	return e.res
 }
 
-func (e *engine) timedOut() bool {
-	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+// aborted reports that the run must stop — the TimeLimit deadline passed or
+// the caller's context was canceled — and records the cause in the stats. It
+// is polled between candidate validations, so an abort takes effect within
+// one validation's latency.
+func (e *engine) aborted() bool {
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.res.Stats.TimedOut = true
+		return true
+	}
+	if e.ctx != nil && e.ctx.Err() != nil {
+		e.res.Stats.Canceled = true
+		return true
+	}
+	return false
 }
 
 // processNode examines all candidates hosted at the node: OFDs
@@ -140,6 +173,9 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 	// --- OFD candidates. -------------------------------------------------
 	attrs := node.Set.Attrs()
 	for _, d := range attrs {
+		if e.aborted() {
+			return candidates
+		}
 		if propagatedConst.Has(d) {
 			// A strict sub-context already has a valid OFD for d: any OFD
 			// here is valid but non-minimal. Skip validation entirely —
@@ -197,6 +233,9 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 		for j := i + 1; j < len(attrs); j++ {
 			a, b := attrs[i], attrs[j]
 			for _, desc := range directions {
+				if e.aborted() {
+					return candidates
+				}
 				validSet := node.OCValid
 				if desc {
 					validSet = node.OCValidDesc
@@ -300,7 +339,7 @@ func (e *engine) sampleRejects(ctx *partition.Stripped, a, b int, desc bool) boo
 	}
 	slack := e.cfg.SampleSlack
 	if slack == 0 {
-		slack = 0.05
+		slack = DefaultSampleSlack
 	}
 	est, sampled := e.v.SampledAOCEstimate(ctx, e.tbl.Column(a), e.columnB(b, desc), e.cfg.SampleStride)
 	if sampled == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,6 +24,15 @@ import (
 // sequential deterministic order); only wall-clock time differs. workers <= 0
 // selects GOMAXPROCS.
 func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, error) {
+	return DiscoverParallelContext(context.Background(), tbl, cfg, workers)
+}
+
+// DiscoverParallelContext is DiscoverParallel with cooperative cancellation:
+// every worker polls the context between candidate validations, so a
+// canceled run frees its workers within one validation's latency. As in
+// DiscoverContext, cancellation returns the partial result with
+// Stats.Canceled set and a nil error.
+func DiscoverParallelContext(ctx context.Context, tbl *dataset.Table, cfg Config, workers int) (*Result, error) {
 	numAttrs := tbl.NumCols()
 	if err := cfg.Validate(numAttrs); err != nil {
 		return nil, err
@@ -31,7 +41,7 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return Discover(tbl, cfg)
+		return DiscoverContext(ctx, tbl, cfg)
 	}
 	start := time.Now()
 	eps := cfg.effectiveThreshold()
@@ -53,11 +63,24 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 		sem <- struct{}{}
 		go func(a int) {
 			defer wg.Done()
+			defer func() { <-sem }()
+			// Polled per column so cancellation skips the remainder of the
+			// startup partitioning phase.
+			if ctx.Err() != nil {
+				return
+			}
 			singles[a] = partition.Single(tbl.Column(a))
-			<-sem
 		}(a)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		// Some singles may be nil; abort before anything touches them.
+		st.Canceled = true
+		st.TotalTime = time.Since(start)
+		st.Rows = tbl.NumRows()
+		st.Attrs = numAttrs
+		return res, nil
+	}
 
 	l0 := lattice.Level0(tbl.NumRows(), numAttrs)
 	cur := lattice.Level1(l0, tbl, singles)
@@ -73,11 +96,15 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 			st.TimedOut = true
 			break
 		}
+		if ctx.Err() != nil {
+			st.Canceled = true
+			break
+		}
 		// Phase 1: materialize this level's parent partitions sequentially
 		// safe — every node's Partition() only writes to itself once its
 		// parents are materialized, and parents live on already-complete
 		// levels. Parallel per node.
-		materializeLevel(prev, singles, workers)
+		materializeLevel(ctx, prev, singles, workers)
 
 		// Phase 2: validate candidates of all nodes concurrently. Each
 		// worker owns a validator; per-node outputs are merged in node
@@ -96,6 +123,7 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 			go func() {
 				defer wg2.Done()
 				eng := &engine{
+					ctx:      ctx,
 					tbl:      tbl,
 					cfg:      cfg,
 					eps:      eps,
@@ -103,6 +131,9 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 					v:        validate.New(),
 					singles:  singles,
 					start:    start,
+				}
+				if cfg.TimeLimit > 0 {
+					eng.deadline = deadline
 				}
 				for idx := range jobs {
 					eng.res = &Result{}
@@ -138,12 +169,17 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 			st.OFDSkipped += o.stats.OFDSkipped
 			st.ValidationTime += o.stats.ValidationTime
 			st.PartitionTime += o.stats.PartitionTime
+			st.TimedOut = st.TimedOut || o.stats.TimedOut
+			st.Canceled = st.Canceled || o.stats.Canceled
 			for lvl := range o.stats.OCsFoundPerLevel {
 				st.OCsFoundPerLevel[lvl] += o.stats.OCsFoundPerLevel[lvl]
 			}
 			for lvl := range o.stats.OFDsFoundPerLevel {
 				st.OFDsFoundPerLevel[lvl] += o.stats.OFDsFoundPerLevel[lvl]
 			}
+		}
+		if st.TimedOut || st.Canceled {
+			break
 		}
 		if candidates == 0 {
 			st.EarlyStopped = cur.Number < maxLevel
@@ -169,8 +205,10 @@ func DiscoverParallel(tbl *dataset.Table, cfg Config, workers int) (*Result, err
 // materializeLevel ensures every node of the level has its partition, in
 // parallel. Safe because parents' partitions are materialized first (they
 // belong to an earlier, already-materialized level), so each goroutine only
-// writes its own node.
-func materializeLevel(lvl *lattice.Level, singles []*partition.Stripped, workers int) {
+// writes its own node. The context is polled per node so a canceled run
+// does not pay for a whole level's partitioning; skipped nodes materialize
+// lazily if ever touched (they won't be — the caller aborts next).
+func materializeLevel(ctx context.Context, lvl *lattice.Level, singles []*partition.Stripped, workers int) {
 	if lvl == nil {
 		return
 	}
@@ -181,6 +219,9 @@ func materializeLevel(lvl *lattice.Level, singles []*partition.Stripped, workers
 		go func() {
 			defer wg.Done()
 			for n := range jobs {
+				if ctx.Err() != nil {
+					continue // keep draining; the caller aborts the level
+				}
 				n.Partition(singles)
 			}
 		}()

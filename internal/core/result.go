@@ -121,6 +121,9 @@ type Stats struct {
 	TotalTime time.Duration
 	// TimedOut reports that Config.TimeLimit aborted the run.
 	TimedOut bool
+	// Canceled reports that the context passed to DiscoverContext was
+	// canceled mid-run (results are partial, like TimedOut).
+	Canceled bool
 	// EarlyStopped reports that a candidate-free level ended the run before
 	// the lattice was exhausted (the pruning behind Exp-5's speedups).
 	EarlyStopped bool

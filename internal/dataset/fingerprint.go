@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Fingerprint returns a hex-encoded SHA-256 content hash of the table:
+// the schema (column names, kinds, row count) plus, per column, the raw
+// distinct values in rank order and the full rank encoding. Two tables with
+// equal fingerprints are byte-identical inputs to every algorithm in this
+// module and therefore produce identical discovery results under identical
+// options — the property the service layer's result cache relies on.
+func Fingerprint(t *Table) string {
+	h := sha256.New()
+	writeInt(h, int64(t.rows))
+	writeInt(h, int64(len(t.cols)))
+	for _, c := range t.cols {
+		writeBytes(h, []byte(c.name))
+		writeInt(h, int64(c.kind))
+		writeInt(h, int64(c.distinct))
+		switch c.kind {
+		case KindInt:
+			for _, v := range c.intVals {
+				writeInt(h, v)
+			}
+		case KindFloat:
+			for _, v := range c.floatVals {
+				// NaN bit patterns vary; the builder keeps at most one NaN
+				// (rank 0), so a canonical quiet-NaN encoding suffices.
+				if math.IsNaN(v) {
+					writeInt(h, int64(math.Float64bits(math.NaN())))
+				} else {
+					writeInt(h, int64(math.Float64bits(v)))
+				}
+			}
+		default:
+			for _, v := range c.stringVals {
+				writeBytes(h, []byte(v))
+			}
+		}
+		// Ranks are int32; pack them directly.
+		buf := make([]byte, 4*len(c.ranks))
+		for i, r := range c.ranks {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(r))
+		}
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+// writeBytes length-prefixes the payload so adjacent variable-length fields
+// cannot alias ("ab","c" vs "a","bc").
+func writeBytes(h hash.Hash, b []byte) {
+	writeInt(h, int64(len(b)))
+	h.Write(b)
+}

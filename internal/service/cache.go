@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"aod"
+)
+
+// resultCache is an LRU cache of completed discovery reports keyed by
+// (dataset fingerprint, canonicalized options) — see cacheKey. Hit/miss
+// accounting lives in the Service (a "hit" there includes joining an
+// in-flight computation); the cache itself only tracks occupancy.
+type resultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	rep *aod.Report
+}
+
+// newResultCache returns an LRU cache holding up to capacity reports;
+// capacity <= 0 disables caching entirely.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached report for key, refreshing its recency.
+func (c *resultCache) get(key string) (*aod.Report, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// put stores the report under key, evicting the least recently used entry
+// when over capacity. Reports are treated as immutable by all consumers.
+func (c *resultCache) put(key string, rep *aod.Report) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).rep = rep
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns current size, capacity, and lifetime evictions.
+func (c *resultCache) stats() (size, capacity int, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.capacity, c.evictions
+}

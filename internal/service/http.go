@@ -1,0 +1,183 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"aod"
+)
+
+// DefaultMaxUploadBytes bounds POST /datasets bodies unless overridden.
+const DefaultMaxUploadBytes = 256 << 20 // 256 MiB
+
+// HandlerConfig tunes the HTTP layer.
+type HandlerConfig struct {
+	// MaxUploadBytes bounds CSV upload bodies (default DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+}
+
+// NewHandler exposes the service as an HTTP JSON API:
+//
+//	POST   /datasets        CSV body (text/csv) → dataset record; ?name= labels it
+//	GET    /datasets        list dataset records
+//	GET    /datasets/{id}   one dataset record
+//	POST   /jobs            {"datasetId": ..., "options": {...}} → job (202)
+//	GET    /jobs            list jobs (without reports)
+//	GET    /jobs/{id}       job status; report attached once done
+//	DELETE /jobs/{id}       cancel the job
+//	GET    /healthz         liveness probe
+//	GET    /stats           service counters
+func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	h := &handler{svc: s, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets", h.postDataset)
+	mux.HandleFunc("GET /datasets", h.listDatasets)
+	mux.HandleFunc("GET /datasets/{id}", h.getDataset)
+	mux.HandleFunc("POST /jobs", h.postJob)
+	mux.HandleFunc("GET /jobs", h.listJobs)
+	mux.HandleFunc("GET /jobs/{id}", h.getJob)
+	mux.HandleFunc("DELETE /jobs/{id}", h.deleteJob)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /stats", h.stats)
+	return mux
+}
+
+type handler struct {
+	svc *Service
+	cfg HandlerConfig
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (h *handler) postDataset(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxUploadBytes)
+	ds, err := aod.ReadCSV(body, aod.CSVOptions{})
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing CSV: %w", err))
+		return
+	}
+	info, created, err := h.svc.Registry().Add(r.URL.Query().Get("name"), ds)
+	switch {
+	case errors.Is(err, ErrRegistryFull):
+		writeErr(w, http.StatusInsufficientStorage, err)
+		return
+	case err != nil: // e.g. the fingerprint-prefix collision refusal
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusCreated
+	if !created {
+		status = http.StatusOK // deduplicated re-upload
+	}
+	writeJSON(w, status, info)
+}
+
+func (h *handler) listDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.Registry().List())
+}
+
+func (h *handler) getDataset(w http.ResponseWriter, r *http.Request) {
+	_, info, err := h.svc.Registry().Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// jobRequest is the POST /jobs body.
+type jobRequest struct {
+	DatasetID string      `json:"datasetId"`
+	Options   aod.Options `json:"options"`
+}
+
+func (h *handler) postJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("job request exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing job request: %w", err))
+		return
+	}
+	if req.DatasetID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("datasetId is required"))
+		return
+	}
+	view, err := h.svc.Submit(req.DatasetID, req.Options)
+	switch {
+	case errors.Is(err, ErrNoDataset):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrInvalidOptions):
+		writeErr(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		w.Header().Set("Location", "/jobs/"+view.ID)
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (h *handler) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.Jobs())
+}
+
+func (h *handler) getJob(w http.ResponseWriter, r *http.Request) {
+	view, err := h.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (h *handler) deleteJob(w http.ResponseWriter, r *http.Request) {
+	view, err := h.svc.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNoJob):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrJobFinished):
+		writeJSON(w, http.StatusConflict, view)
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.Stats())
+}

@@ -1,0 +1,496 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"aod"
+)
+
+// JobState is the lifecycle state of a discovery job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is validating (or waiting on an identical
+	// in-flight run).
+	JobRunning JobState = "running"
+	// JobDone: completed with a report.
+	JobDone JobState = "done"
+	// JobFailed: completed with an error.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled before or during the run.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// ErrQueueFull is returned by Submit when the job queue is saturated —
+// the service's backpressure signal (HTTP 503).
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrNoJob is returned when a job id is unknown.
+var ErrNoJob = errors.New("service: no such job")
+
+// ErrJobFinished is returned by Cancel on a job already in a terminal state.
+var ErrJobFinished = errors.New("service: job already finished")
+
+// ErrInvalidOptions is returned by Submit when the options fail validation
+// against the target dataset's schema (HTTP 400).
+var ErrInvalidOptions = errors.New("service: invalid options")
+
+// Job is one discovery submission moving through the lifecycle
+// queued → running → done | failed | canceled.
+type Job struct {
+	id        string
+	datasetID string
+	opts      aod.Options
+	key       string
+	ctx       context.Context
+	cancel    context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	waiting  bool // running, but parked on an identical in-flight run (no worker held)
+	cacheHit bool
+	err      error
+	report   *aod.Report
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is the JSON-serializable snapshot of a job.
+type JobView struct {
+	ID        string `json:"id"`
+	DatasetID string `json:"datasetId"`
+	// Options are the job's effective options: server-side normalization
+	// (parallelism clamped to the host, no-op MaxLevel folded to 0) is
+	// reflected here, so the view shows what actually runs.
+	Options aod.Options `json:"options"`
+	State   JobState    `json:"state"`
+	// CacheHit marks a job served from the result cache or an identical
+	// in-flight run, without a validation run of its own.
+	CacheHit   bool        `json:"cacheHit"`
+	Error      string      `json:"error,omitempty"`
+	CreatedAt  time.Time   `json:"createdAt"`
+	StartedAt  *time.Time  `json:"startedAt,omitempty"`
+	FinishedAt *time.Time  `json:"finishedAt,omitempty"`
+	Report     *aod.Report `json:"report,omitempty"`
+}
+
+// view snapshots the job; the report is attached only when requested (job
+// listings stay light).
+func (j *Job) view(includeReport bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		DatasetID: j.datasetID,
+		Options:   j.opts,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		CreatedAt: j.created,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if includeReport && j.state == JobDone {
+		v.Report = j.report
+	}
+	return v
+}
+
+// Submit queues a discovery job for the registered dataset and returns its
+// initial view. It never blocks: a saturated queue fails fast with
+// ErrQueueFull so callers can apply backpressure upstream.
+func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
+	_, info, err := s.registry.Get(datasetID)
+	if err != nil {
+		return JobView{}, err
+	}
+	// Reject invalid configurations up front — this also guarantees every
+	// cache/flight key corresponds to a runnable configuration, so jobs
+	// sharing a key genuinely share an outcome.
+	if err := opts.Validate(info.Cols); err != nil {
+		return JobView{}, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	// Clamp client-supplied parallelism to the host: one request must not be
+	// able to spawn an unbounded number of goroutines.
+	if maxPar := runtime.GOMAXPROCS(0); opts.Parallelism > maxPar {
+		opts.Parallelism = maxPar
+	}
+	// A MaxLevel at or beyond the column count is no bound at all — fold it
+	// to 0 so provably identical configurations share one cache/flight key.
+	if opts.MaxLevel >= info.Cols {
+		opts.MaxLevel = 0
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		datasetID: datasetID,
+		opts:      opts,
+		key:       cacheKey(info.Fingerprint, opts),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     JobQueued,
+		created:   time.Now().UTC(),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return JobView{}, ErrClosed
+	}
+	if s.cfg.QueueDepth > 0 && len(s.pending) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		cancel()
+		return JobView{}, ErrQueueFull
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.pending = append(s.pending, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneHistoryLocked()
+	s.notEmpty.Signal()
+	s.mu.Unlock()
+
+	s.jobsSubmitted.Add(1)
+	return j.view(false), nil
+}
+
+// pruneHistoryLocked evicts the oldest terminal job records (and their
+// reports) while over the MaxJobHistory bound, so an always-on server's job
+// history cannot grow without limit. Live (queued/running) jobs are never
+// evicted. The scan stops as soon as the excess is consumed — in the steady
+// state (oldest job terminal, excess 1) that is a single step, keeping
+// Submit O(1). Caller holds s.mu.
+func (s *Service) pruneHistoryLocked() {
+	if s.cfg.MaxJobHistory <= 0 || len(s.jobs) <= s.cfg.MaxJobHistory {
+		return
+	}
+	excess := len(s.jobs) - s.cfg.MaxJobHistory
+	var keptLive []string
+	i := 0
+	for ; i < len(s.order) && excess > 0; i++ {
+		id := s.order[i]
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if terminal {
+			delete(s.jobs, id)
+			excess--
+		} else {
+			keptLive = append(keptLive, id)
+		}
+	}
+	if len(keptLive) == 0 {
+		s.order = s.order[i:]
+		return
+	}
+	s.order = append(keptLive, s.order[i:]...)
+}
+
+// Job returns the current view of the job, including its report once done.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	return j.view(true), nil
+}
+
+// Jobs lists all jobs in submission order, without reports.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view(false)
+	}
+	return out
+}
+
+// Cancel cancels the job. A queued job is finalized immediately; a running
+// job has its context canceled and reaches the canceled state as soon as the
+// discovery engine observes it (within one validation's latency), freeing
+// the worker. Canceling a finished job returns ErrJobFinished.
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return j.view(true), ErrJobFinished
+	case j.state == JobQueued:
+		j.state = JobCanceled
+		j.finished = time.Now().UTC()
+		s.jobsCanceled.Add(1)
+		j.mu.Unlock()
+		// Remove the job from the pending queue immediately so canceled
+		// jobs free their slot (and stop exerting backpressure) without
+		// waiting for a worker to drain them.
+		s.mu.Lock()
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	case j.waiting:
+		// Parked on an in-flight run with no worker attached: finalize here;
+		// the flight leader skips already-terminal waiters when settling.
+		j.state = JobCanceled
+		j.finished = time.Now().UTC()
+		s.jobsCanceled.Add(1)
+		j.mu.Unlock()
+	default:
+		j.mu.Unlock()
+	}
+	j.cancel()
+	return j.view(false), nil
+}
+
+// worker drains the pending queue until Close empties it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if len(s.pending) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// errParked is compute's sentinel: the job was registered as a waiter on an
+// identical in-flight run and released its worker; the flight leader will
+// finalize it in settleWaiter.
+var errParked = errors.New("service: job parked on in-flight run")
+
+// runJob drives one job through running to a terminal state.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now().UTC()
+	j.mu.Unlock()
+
+	s.inFlight.Add(1)
+	rep, fromCache, err := s.compute(j)
+	s.inFlight.Add(-1)
+	if err == errParked {
+		return // the worker is free; the flight leader finalizes the job
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now().UTC()
+	switch {
+	case j.ctx.Err() != nil || (err == nil && rep.Stats.Canceled):
+		// The submitter canceled: the partial result is discarded. (A
+		// cache/flight hit that raced the cancel still cancels — the user's
+		// intent wins over the free result.)
+		j.state = JobCanceled
+		s.jobsCanceled.Add(1)
+	case err != nil:
+		j.state = JobFailed
+		j.err = err
+		s.jobsFailed.Add(1)
+	default:
+		j.state = JobDone
+		j.report = rep
+		j.cacheHit = fromCache
+		s.jobsDone.Add(1)
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+// flight is one in-progress validation run. Identical concurrent jobs park
+// on it as waiters — releasing their workers — and are settled by the
+// leader when the run finishes.
+type flight struct {
+	rep *aod.Report
+	err error
+	// shareable marks a complete result (or deterministic error) that
+	// waiters may adopt; canceled/timed-out partials are not shareable and
+	// waiters are requeued.
+	shareable bool
+	waiters   []*Job
+}
+
+// compute produces the job's report: from the result cache, or by validating
+// as a flight leader. A job that finds an identical run already in flight
+// parks on it (returning errParked) instead of blocking its worker. The
+// boolean reports whether the result arrived without a validation run of its
+// own — the service-level definition of a cache hit.
+func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
+	ds, _, err := s.registry.Get(j.datasetID)
+	if err != nil {
+		return nil, false, err
+	}
+	if rep, ok := s.cache.get(j.key); ok {
+		s.cacheHits.Add(1)
+		return rep, true, nil
+	}
+	s.mu.Lock()
+	if f, inFlight := s.flights[j.key]; inFlight {
+		if j.opts.TimeLimit > 0 {
+			// A time-limited job must honor its own deadline, which the
+			// in-flight run does not know about: run independently instead
+			// of parking (its complete result is still shared via the
+			// cache, keyed without the limit).
+			s.mu.Unlock()
+			rep, err := s.validate(j, ds)
+			return rep, false, err
+		}
+		f.waiters = append(f.waiters, j)
+		j.mu.Lock()
+		j.waiting = true
+		j.mu.Unlock()
+		// Incremented before s.mu is released: the leader could otherwise
+		// settle (and decrement for) this waiter first, sending the gauge
+		// negative.
+		s.waiting.Add(1)
+		s.mu.Unlock()
+		return nil, false, errParked
+	}
+	// Re-check the cache under the lock: between the miss above and here
+	// the previous leader may have published its result and retired its
+	// flight.
+	if rep, ok := s.cache.get(j.key); ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		return rep, true, nil
+	}
+	f := &flight{}
+	s.flights[j.key] = f
+	s.mu.Unlock()
+
+	// Leader: the one validation run for the key while the flight lives.
+	rep, err := s.validate(j, ds)
+	f.rep, f.err = rep, err
+	f.shareable = err != nil || (!rep.Stats.Canceled && !rep.Stats.TimedOut)
+	s.mu.Lock()
+	delete(s.flights, j.key)
+	waiters := f.waiters
+	f.waiters = nil
+	s.mu.Unlock()
+	for _, w := range waiters {
+		s.settleWaiter(w, f)
+	}
+	return rep, false, err
+}
+
+// validate runs discovery for the job, updating the run counters and
+// publishing complete results to the cache.
+func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
+	s.cacheMisses.Add(1)
+	s.validationRuns.Add(1)
+	rep, err := aod.DiscoverContext(j.ctx, ds, j.opts)
+	if err == nil && !rep.Stats.Canceled && !rep.Stats.TimedOut {
+		s.validationNs.Add(int64(rep.Stats.ValidationTime))
+		s.discoveryNs.Add(int64(rep.Stats.TotalTime))
+		// Publish to the cache before retiring the flight (in the leader
+		// path) so a new arrival always finds one of the two.
+		s.cache.put(j.key, rep)
+	}
+	return rep, err
+}
+
+// settleWaiter finalizes a job that parked on the finished flight: adopt a
+// shareable outcome as a cache hit, or requeue (at the front) for a fresh
+// attempt when the leader was canceled or timed out. Already-terminal
+// waiters (canceled while parked) are left as they are.
+func (s *Service) settleWaiter(w *Job, f *flight) {
+	s.waiting.Add(-1)
+	w.mu.Lock()
+	if w.state.Terminal() {
+		w.mu.Unlock()
+		return
+	}
+	w.waiting = false
+	if w.ctx.Err() != nil {
+		w.state = JobCanceled
+		w.finished = time.Now().UTC()
+		w.mu.Unlock()
+		s.jobsCanceled.Add(1)
+		return
+	}
+	if !f.shareable {
+		w.state = JobQueued
+		w.mu.Unlock()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			w.mu.Lock()
+			w.state = JobCanceled
+			w.finished = time.Now().UTC()
+			w.mu.Unlock()
+			s.jobsCanceled.Add(1)
+			return
+		}
+		// Head of the queue: the waiter was admitted before anything now
+		// pending.
+		s.pending = append([]*Job{w}, s.pending...)
+		s.notEmpty.Signal()
+		s.mu.Unlock()
+		return
+	}
+	w.finished = time.Now().UTC()
+	if f.err != nil {
+		// Deterministic config error — identical for any job with this key.
+		w.state = JobFailed
+		w.err = f.err
+		w.mu.Unlock()
+		s.jobsFailed.Add(1)
+	} else {
+		w.state = JobDone
+		w.report = f.rep
+		w.cacheHit = true
+		w.mu.Unlock()
+		s.jobsDone.Add(1)
+		s.cacheHits.Add(1)
+	}
+	w.cancel()
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aod"
+)
+
+// ErrRegistryFull is returned by Registry.Add when MaxDatasets is reached.
+var ErrRegistryFull = errors.New("service: dataset registry is full")
+
+// ErrNoDataset is returned when a dataset id is unknown.
+var ErrNoDataset = errors.New("service: no such dataset")
+
+// DatasetInfo is the registry's public record of an uploaded dataset.
+type DatasetInfo struct {
+	// ID is the first 12 hex digits of the fingerprint — stable across
+	// re-uploads of identical content, which deduplicates the registry.
+	ID string `json:"id"`
+	// Name is the client-supplied display name (optional).
+	Name string `json:"name,omitempty"`
+	// Fingerprint is the full content hash (see aod.Dataset.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	Rows        int    `json:"rows"`
+	Cols        int    `json:"cols"`
+	// Columns are the attribute names in schema order.
+	Columns   []string  `json:"columns"`
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// Registry holds uploaded datasets keyed by content fingerprint. Uploading
+// the same content twice returns the original record, so clients can submit
+// a dataset once and query many (threshold, algorithm) configurations — or
+// re-upload idempotently — without growing server memory.
+type Registry struct {
+	mu    sync.RWMutex
+	byID  map[string]*storedDataset
+	order []string // insertion order, for stable listings
+	max   int      // 0 = unbounded
+}
+
+type storedDataset struct {
+	info DatasetInfo
+	ds   *aod.Dataset
+}
+
+// NewRegistry returns a registry bounded to max datasets (0 = unbounded).
+func NewRegistry(max int) *Registry {
+	return &Registry{byID: make(map[string]*storedDataset), max: max}
+}
+
+// Add registers the dataset under a fingerprint-derived id and returns its
+// record. Content already present is deduplicated: the existing record is
+// returned with created=false and the new name (if any) is ignored.
+func (r *Registry) Add(name string, ds *aod.Dataset) (DatasetInfo, bool, error) {
+	fp := ds.Fingerprint()
+	id := fp[:12]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byID[id]; ok {
+		if s.info.Fingerprint != fp {
+			// A 48-bit prefix collision between distinct contents
+			// (~2^-48 per pair): refuse rather than silently alias the
+			// stored dataset.
+			return DatasetInfo{}, false, fmt.Errorf(
+				"service: dataset id collision: %q already maps to fingerprint %s", id, s.info.Fingerprint)
+		}
+		return s.info, false, nil
+	}
+	if r.max > 0 && len(r.byID) >= r.max {
+		return DatasetInfo{}, false, ErrRegistryFull
+	}
+	info := DatasetInfo{
+		ID:          id,
+		Name:        name,
+		Fingerprint: fp,
+		Rows:        ds.NumRows(),
+		Cols:        ds.NumCols(),
+		Columns:     ds.ColumnNames(),
+		CreatedAt:   time.Now().UTC(),
+	}
+	r.byID[id] = &storedDataset{info: info, ds: ds}
+	r.order = append(r.order, id)
+	return info, true, nil
+}
+
+// Get returns the dataset and its record.
+func (r *Registry) Get(id string) (*aod.Dataset, DatasetInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byID[id]
+	if !ok {
+		return nil, DatasetInfo{}, fmt.Errorf("%w: %q", ErrNoDataset, id)
+	}
+	return s.ds, s.info, nil
+}
+
+// List returns all records in upload order.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id].info)
+	}
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

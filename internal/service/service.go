@@ -1,0 +1,199 @@
+// Package service turns one-shot AOD discovery into a long-running,
+// concurrent, cancellable subsystem: a dataset registry with content
+// fingerprinting, a bounded-queue job manager running discovery on a fixed
+// worker pool with cooperative cancellation (aod.DiscoverContext), and an
+// LRU result cache keyed by (dataset fingerprint, canonicalized options) so
+// identical re-submissions — including concurrent ones, via an in-flight
+// single-flight table — validate exactly once. The aodserver command exposes
+// it over an HTTP JSON API (see NewHandler).
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes a Service. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the discovery worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; Submit
+	// fails with ErrQueueFull beyond it (default 64; negative = unbounded).
+	QueueDepth int
+	// CacheSize is the result-cache capacity in reports (default 128;
+	// negative disables caching).
+	CacheSize int
+	// MaxDatasets bounds the registry (default 256; negative = unbounded).
+	MaxDatasets int
+	// MaxJobHistory bounds retained job records: when exceeded, the oldest
+	// terminal jobs (and their reports) are evicted so a long-running server
+	// cannot grow without bound (default 1024; negative = unbounded).
+	MaxJobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0 // unbounded
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.MaxDatasets == 0 {
+		c.MaxDatasets = 256
+	}
+	if c.MaxDatasets < 0 {
+		c.MaxDatasets = 0
+	}
+	if c.MaxJobHistory == 0 {
+		c.MaxJobHistory = 1024
+	}
+	if c.MaxJobHistory < 0 {
+		c.MaxJobHistory = 0
+	}
+	return c
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Service is the discovery service: registry + job manager + result cache.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg      Config
+	registry *Registry
+	cache    *resultCache
+	start    time.Time
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond // signaled when pending gains a job or on Close
+	closed   bool
+	jobs     map[string]*Job
+	order    []string // submission order, for stable listings
+	pending  []*Job   // FIFO of jobs waiting for a worker (bounded by QueueDepth)
+	flights  map[string]*flight
+	nextID   uint64
+
+	wg sync.WaitGroup
+
+	// Counters (atomics: updated from workers, read by Stats).
+	jobsSubmitted  atomic.Uint64
+	jobsDone       atomic.Uint64
+	jobsFailed     atomic.Uint64
+	jobsCanceled   atomic.Uint64
+	inFlight       atomic.Int64
+	waiting        atomic.Int64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	validationNs   atomic.Int64
+	discoveryNs    atomic.Int64
+	validationRuns atomic.Uint64
+}
+
+// New starts a Service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxDatasets),
+		cache:    newResultCache(cfg.CacheSize),
+		start:    time.Now(),
+		jobs:     make(map[string]*Job),
+		flights:  make(map[string]*flight),
+	}
+	s.notEmpty = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the dataset registry.
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Close cancels every live job, stops the workers, and waits for them to
+// drain. Submit fails with ErrClosed afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.notEmpty.Broadcast()
+	s.mu.Unlock()
+	for _, j := range live {
+		j.cancel()
+	}
+	s.wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the service counters, served by
+// GET /stats.
+type Stats struct {
+	Datasets      int    `json:"datasets"`
+	JobsSubmitted uint64 `json:"jobsSubmitted"`
+	JobsDone      uint64 `json:"jobsDone"`
+	JobsFailed    uint64 `json:"jobsFailed"`
+	JobsCanceled  uint64 `json:"jobsCanceled"`
+	JobsInFlight  int64  `json:"jobsInFlight"`
+	// JobsWaiting counts jobs parked on an identical in-flight run — in
+	// state "running" but holding no worker.
+	JobsWaiting    int64         `json:"jobsWaiting"`
+	JobsQueued     int           `json:"jobsQueued"`
+	CacheHits      uint64        `json:"cacheHits"`
+	CacheMisses    uint64        `json:"cacheMisses"`
+	CacheSize      int           `json:"cacheSize"`
+	CacheCapacity  int           `json:"cacheCapacity"`
+	CacheEvictions uint64        `json:"cacheEvictions"`
+	ValidationRuns uint64        `json:"validationRuns"`
+	ValidationTime time.Duration `json:"validationTimeNs"`
+	DiscoveryTime  time.Duration `json:"discoveryTimeNs"`
+	Workers        int           `json:"workers"`
+	QueueDepth     int           `json:"queueDepth"`
+	Uptime         time.Duration `json:"uptimeNs"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	size, capacity, evictions := s.cache.stats()
+	s.mu.Lock()
+	queued := len(s.pending)
+	s.mu.Unlock()
+	return Stats{
+		Datasets:       s.registry.Len(),
+		JobsSubmitted:  s.jobsSubmitted.Load(),
+		JobsDone:       s.jobsDone.Load(),
+		JobsFailed:     s.jobsFailed.Load(),
+		JobsCanceled:   s.jobsCanceled.Load(),
+		JobsInFlight:   s.inFlight.Load(),
+		JobsWaiting:    s.waiting.Load(),
+		JobsQueued:     queued,
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheSize:      size,
+		CacheCapacity:  capacity,
+		CacheEvictions: evictions,
+		ValidationRuns: s.validationRuns.Load(),
+		ValidationTime: time.Duration(s.validationNs.Load()),
+		DiscoveryTime:  time.Duration(s.discoveryNs.Load()),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.cfg.QueueDepth,
+		Uptime:         time.Since(s.start),
+	}
+}

@@ -1,0 +1,52 @@
+package aod
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON writes the report as indented JSON using the stable field names
+// documented on OC, OFD, and Stats. It is the single encoder behind both the
+// aodiscover -json flag and the aodserver HTTP API, so the two always agree.
+// Nil dependency and context slices are normalized to empty arrays so
+// consumers never see null where a list belongs.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r) // Encode normalizes via MarshalJSON
+}
+
+// MarshalJSON applies the same normalization as WriteJSON.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	// Alias shields Marshal from recursing back into MarshalJSON.
+	type alias Report
+	return json.Marshal((*alias)(r.normalized()))
+}
+
+func (r *Report) normalized() *Report {
+	n := *r
+	// make (not append) so empty lists stay non-nil and encode as [].
+	ocs := make([]OC, len(n.OCs))
+	copy(ocs, n.OCs)
+	n.OCs = ocs
+	ofds := make([]OFD, len(n.OFDs))
+	copy(ofds, n.OFDs)
+	n.OFDs = ofds
+	for i := range n.OCs {
+		if n.OCs[i].Context == nil {
+			n.OCs[i].Context = []string{}
+		}
+	}
+	for i := range n.OFDs {
+		if n.OFDs[i].Context == nil {
+			n.OFDs[i].Context = []string{}
+		}
+	}
+	if n.Stats.OCsFoundPerLevel == nil {
+		n.Stats.OCsFoundPerLevel = []int{}
+	}
+	if n.Stats.OFDsFoundPerLevel == nil {
+		n.Stats.OFDsFoundPerLevel = []int{}
+	}
+	return &n
+}
