@@ -49,6 +49,23 @@ func (d *Dataset) NumCols() int { return d.tbl.NumCols() }
 // ColumnNames returns the attribute names in schema order.
 func (d *Dataset) ColumnNames() []string { return d.tbl.ColumnNames() }
 
+// ColumnTypes returns the column kind names ("int", "float", "string") in
+// schema order. Passing them back via CSVOptions.Types makes a WriteCSV →
+// ReadCSV round trip reconstruct the dataset exactly (equal Fingerprint),
+// where type re-inference could diverge — the property the persistence layer
+// depends on.
+func (d *Dataset) ColumnTypes() []string { return d.tbl.ColumnTypes() }
+
+// Freeze eagerly materializes the dataset's lazily-built internal views
+// (the descending column views behind bidirectional discovery), after which
+// no operation writes to the dataset again. Long-lived registries freeze a
+// dataset before sharing it across concurrent discovery jobs. It returns the
+// dataset for chaining.
+func (d *Dataset) Freeze() *Dataset {
+	d.tbl.Freeze()
+	return d
+}
+
 // Head returns the dataset restricted to its first n rows.
 func (d *Dataset) Head(n int) *Dataset { return &Dataset{tbl: d.tbl.Head(n)} }
 
@@ -131,6 +148,10 @@ type CSVOptions struct {
 	Columns []string
 	// NoHeader treats the first record as data (columns named col0, col1…).
 	NoHeader bool
+	// Types forces the kind ("int", "float", "string") of each kept column
+	// in order instead of inferring it (empty = infer). See
+	// Dataset.ColumnTypes.
+	Types []string
 }
 
 // ReadCSV parses CSV data into a Dataset with per-column type inference

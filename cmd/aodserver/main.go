@@ -8,6 +8,14 @@
 //
 //	aodserver [-addr :8711] [-workers N] [-queue N] [-cache N]
 //	          [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
+//	          [-data-dir DIR]
+//
+// With -data-dir the server is durable: uploaded datasets and completed
+// reports are written through to DIR (atomic write-then-rename, corrupt
+// files quarantined rather than fatal) and recovered on restart, so a
+// restarted server lists every previously uploaded dataset and serves
+// previously computed reports without re-running discovery. Without the
+// flag all state is in-memory, exactly as before.
 //
 // Endpoints (see the README for a curl walkthrough):
 //
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"aod/internal/service"
+	"aod/internal/store"
 )
 
 func main() {
@@ -46,14 +55,24 @@ func main() {
 	maxDatasets := flag.Int("max-datasets", 256, "dataset registry bound (negative = unbounded)")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job-record bound; oldest finished jobs are evicted (negative = unbounded)")
 	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "maximum CSV upload size in bytes")
+	dataDir := flag.String("data-dir", "", "persist datasets and reports under this directory (empty = in-memory only)")
 	flag.Parse()
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "aodserver:", err)
+			os.Exit(1)
+		}
+	}
 	svc := service.New(service.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheSize:     *cacheSize,
 		MaxDatasets:   *maxDatasets,
 		MaxJobHistory: *maxJobs,
+		Store:         st,
 	})
 	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
 
@@ -65,6 +84,10 @@ func main() {
 	// The resolved address matters when port 0 was requested.
 	fmt.Printf("aodserver listening on %s (%d workers, queue %d, cache %d)\n",
 		ln.Addr(), *workers, *queue, *cacheSize)
+	if st != nil {
+		fmt.Printf("aodserver persisting to %s (%d datasets recovered)\n",
+			st.Dir(), len(st.Datasets()))
+	}
 
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	done := make(chan error, 1)

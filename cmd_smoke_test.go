@@ -106,17 +106,13 @@ func TestCLISmoke(t *testing.T) {
 	}
 }
 
-// TestAODServerSmoke boots the real aodserver binary on an ephemeral port
-// and walks the upload → submit → poll → cache-hit workflow over HTTP.
-func TestAODServerSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds binaries")
-	}
+// buildAODServer compiles the aodserver binary into dir.
+func buildAODServer(t *testing.T, dir string) string {
+	t.Helper()
 	goBin, err := exec.LookPath("go")
 	if err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
-	dir := t.TempDir()
 	bin := filepath.Join(dir, "aodserver")
 	if runtime.GOOS == "windows" {
 		bin += ".exe"
@@ -124,8 +120,14 @@ func TestAODServerSmoke(t *testing.T) {
 	if msg, err := exec.Command(goBin, "build", "-o", bin, "./cmd/aodserver").CombinedOutput(); err != nil {
 		t.Fatalf("building aodserver: %v\n%s", err, msg)
 	}
+	return bin
+}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+// startAODServer launches the binary and returns the base URL parsed from
+// its startup line, plus the running process (for crash-testing).
+func startAODServer(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -133,11 +135,10 @@ func TestAODServerSmoke(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
+	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-	}()
-
+	})
 	// The first line announces the resolved ephemeral address.
 	scanner := bufio.NewScanner(stdout)
 	if !scanner.Scan() {
@@ -148,7 +149,19 @@ func TestAODServerSmoke(t *testing.T) {
 	if len(fields) < 4 || fields[1] != "listening" {
 		t.Fatalf("unexpected startup line: %q", line)
 	}
-	base := "http://" + fields[3]
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return "http://" + fields[3], cmd
+}
+
+// TestAODServerSmoke boots the real aodserver binary on an ephemeral port
+// and walks the upload → submit → poll → cache-hit workflow over HTTP.
+func TestAODServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildAODServer(t, dir)
+	base, _ := startAODServer(t, bin, "-workers", "2")
 
 	get := func(path string) string {
 		t.Helper()
@@ -232,5 +245,109 @@ func TestAODServerSmoke(t *testing.T) {
 	}
 	if stats.ValidationRuns != 1 || stats.CacheHits != 1 {
 		t.Errorf("stats = %+v, want 1 validation run and 1 cache hit", stats)
+	}
+}
+
+// TestAODServerCrashRecoverySmoke kills a persistent aodserver with SIGKILL
+// (a real crash — no graceful shutdown) and verifies a fresh process over
+// the same -data-dir still lists the uploaded dataset and serves the
+// computed report without re-running discovery.
+func TestAODServerCrashRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("uses SIGKILL")
+	}
+	dir := t.TempDir()
+	bin := buildAODServer(t, dir)
+	dataDir := filepath.Join(dir, "data")
+
+	httpJSON := func(base, method, path, body string, out any) int {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("%s %s: decoding: %v", method, path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	pollDone := func(base, jobID string) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			var job map[string]any
+			httpJSON(base, "GET", "/jobs/"+jobID, "", &job)
+			switch job["state"] {
+			case "done":
+				return job
+			case "failed", "canceled":
+				t.Fatalf("job %s: %v", jobID, job)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("job %s never finished", jobID)
+		return nil
+	}
+
+	// Generation 1: upload, compute, crash.
+	base1, cmd1 := startAODServer(t, bin, "-data-dir", dataDir)
+	csv := "pos,exp,sal\nsecr,2,45\nsecr,3,50\nmngr,4,70\nmngr,5,75\ndirec,6,100\ndirec,7,110\n"
+	var info struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(base1, "POST", "/datasets?name=durable", csv, &info); code != 201 {
+		t.Fatalf("upload status %d, want 201", code)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	body := fmt.Sprintf(`{"datasetId": %q, "options": {"threshold": 0.12}}`, info.ID)
+	if code := httpJSON(base1, "POST", "/jobs", body, &job); code != 202 {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	pollDone(base1, job.ID)
+	if err := cmd1.Process.Kill(); err != nil { // SIGKILL: no shutdown hooks
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Generation 2: a fresh process over the same data directory.
+	base2, _ := startAODServer(t, bin, "-data-dir", dataDir)
+	var datasets []struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	httpJSON(base2, "GET", "/datasets", "", &datasets)
+	if len(datasets) != 1 || datasets[0].ID != info.ID || datasets[0].Name != "durable" {
+		t.Fatalf("restarted server lists %+v, want the crashed upload", datasets)
+	}
+	var job2 struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(base2, "POST", "/jobs", body, &job2); code != 202 {
+		t.Fatalf("post-crash submit status %d, want 202", code)
+	}
+	done := pollDone(base2, job2.ID)
+	if done["cacheHit"] != true {
+		t.Error("post-crash identical job recomputed instead of hitting the report store")
+	}
+	var stats struct {
+		ValidationRuns uint64 `json:"validationRuns"`
+		CacheDiskHits  uint64 `json:"cacheDiskHits"`
+		Persistent     bool   `json:"persistent"`
+	}
+	httpJSON(base2, "GET", "/stats", "", &stats)
+	if !stats.Persistent || stats.ValidationRuns != 0 || stats.CacheDiskHits != 1 {
+		t.Errorf("post-crash stats = %+v, want persistent, 0 validation runs, 1 disk hit", stats)
 	}
 }

@@ -1,11 +1,13 @@
 package dataset
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // CSVOptions controls CSV parsing.
@@ -19,6 +21,12 @@ type CSVOptions struct {
 	// NoHeader indicates the first record is data; columns are then named
 	// col0, col1, ...
 	NoHeader bool
+	// Types, when non-empty, forces the kind ("int", "float", "string") of
+	// each kept column in order instead of inferring it, and must have
+	// exactly one entry per kept column. A value that does not parse as the
+	// forced type is an error. Types is how ColumnTypes-aware readers (the
+	// persistence layer) make a CSV round trip lossless.
+	Types []string
 }
 
 // ReadCSV parses CSV data into a Table, inferring each column's type:
@@ -91,11 +99,23 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 		if len(keep) > 0 && !keep[name] {
 			continue
 		}
-		addInferred(b, name, raw[i])
+		if len(opts.Types) > 0 {
+			if added >= len(opts.Types) {
+				return nil, fmt.Errorf("dataset: %d column types for more CSV columns", len(opts.Types))
+			}
+			if err := addTyped(b, name, raw[i], opts.Types[added]); err != nil {
+				return nil, err
+			}
+		} else {
+			addInferred(b, name, raw[i])
+		}
 		added++
 	}
 	if added == 0 {
 		return nil, fmt.Errorf("dataset: none of the requested columns %v found in CSV header", opts.Columns)
+	}
+	if len(opts.Types) > 0 && added != len(opts.Types) {
+		return nil, fmt.Errorf("dataset: %d column types for %d CSV columns", len(opts.Types), added)
 	}
 	return b.Build()
 }
@@ -149,10 +169,52 @@ func addInferred(b *Builder, name string, vals []string) {
 	}
 }
 
+// addTyped parses vals as the named kind, failing on any value that does not
+// conform — the strictness the persistence layer relies on to detect a
+// corrupted dataset file instead of silently re-typing it.
+func addTyped(b *Builder, name string, vals []string, typ string) error {
+	kind, err := KindFromString(typ)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case KindInt:
+		ints := make([]int64, len(vals))
+		for i, v := range vals {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("dataset: column %q row %d: %q is not an int", name, i+1, v)
+			}
+			ints[i] = n
+		}
+		b.AddInts(name, ints)
+	case KindFloat:
+		floats := make([]float64, len(vals))
+		for i, v := range vals {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("dataset: column %q row %d: %q is not a float", name, i+1, v)
+			}
+			floats[i] = f
+		}
+		b.AddFloats(name, floats)
+	default:
+		b.AddStrings(name, vals)
+	}
+	return nil
+}
+
 // WriteCSV serializes the table (raw display values) as CSV with a header.
+//
+// It uses its own record encoder rather than encoding/csv.Writer for one
+// reason: a single-column record whose field is empty must be written as
+// `""`, not as the blank line csv.Writer produces — csv.Reader skips blank
+// lines entirely, which would drop the header (empty column name) or rows
+// (empty string values) on reload. Fuzzing the serialize→reload round trip
+// found this; see FuzzReadCSV.
 func WriteCSV(w io.Writer, t *Table) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.ColumnNames()); err != nil {
+	bw := bufio.NewWriter(w)
+	if err := writeCSVRecord(bw, t.ColumnNames()); err != nil {
 		return err
 	}
 	rec := make([]string, t.NumCols())
@@ -160,12 +222,30 @@ func WriteCSV(w io.Writer, t *Table) error {
 		for i := 0; i < t.NumCols(); i++ {
 			rec[i] = t.Column(i).ValueString(row)
 		}
-		if err := cw.Write(rec); err != nil {
+		if err := writeCSVRecord(bw, rec); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
+}
+
+// writeCSVRecord writes one RFC-4180 record, quoting fields that need it —
+// including the single-empty-field record csv.Writer would turn into a
+// skippable blank line.
+func writeCSVRecord(w *bufio.Writer, rec []string) error {
+	for i, f := range rec {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		if strings.ContainsAny(f, ",\"\r\n") || (len(rec) == 1 && f == "") {
+			w.WriteByte('"')
+			w.WriteString(strings.ReplaceAll(f, `"`, `""`))
+			w.WriteByte('"')
+		} else {
+			w.WriteString(f)
+		}
+	}
+	return w.WriteByte('\n')
 }
 
 // WriteCSVFile writes the table to path, creating or truncating it.

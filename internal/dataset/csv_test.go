@@ -88,6 +88,37 @@ func TestReadCSVEmptyFieldFallsBackToString(t *testing.T) {
 	}
 }
 
+func TestReadCSVForcedTypes(t *testing.T) {
+	const src = "f,code\n1,01\n2,2\n"
+	tbl, err := ReadCSV(strings.NewReader(src), CSVOptions{Types: []string{"float", "string"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.ColumnTypes(); got[0] != "float" || got[1] != "string" {
+		t.Errorf("forced types ignored: %v", got)
+	}
+	// A value that does not parse as the forced type is an error, not a
+	// silent fallback.
+	if _, err := ReadCSV(strings.NewReader("n\nx\n"), CSVOptions{Types: []string{"int"}}); err == nil {
+		t.Error("want error forcing int on non-numeric data")
+	}
+	// Wrong arity is an error.
+	if _, err := ReadCSV(strings.NewReader(src), CSVOptions{Types: []string{"int"}}); err == nil {
+		t.Error("want error for too few types")
+	}
+	if _, err := ReadCSV(strings.NewReader(src), CSVOptions{Types: []string{"int", "int", "int"}}); err == nil {
+		t.Error("want error for too many types")
+	}
+	// A non-nil but empty Types slice means infer, same as nil.
+	tbl, err = ReadCSV(strings.NewReader(src), CSVOptions{Types: []string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.ColumnTypes(); got[0] != "int" || got[1] != "int" {
+		t.Errorf("empty Types should infer, got %v", got)
+	}
+}
+
 func TestCSVRoundTrip(t *testing.T) {
 	orig, err := ReadCSV(strings.NewReader(sampleCSV), CSVOptions{})
 	if err != nil {

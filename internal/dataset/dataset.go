@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind identifies the logical type of a column.
@@ -46,6 +47,20 @@ func (k Kind) String() string {
 	}
 }
 
+// KindFromString parses a kind name produced by Kind.String.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown column type %q (want int, float, or string)", s)
+	}
+}
+
 // Column is a single rank-encoded attribute of a Table.
 //
 // Ranks are dense: they cover exactly 0..NumDistinct-1. The original values
@@ -60,8 +75,11 @@ type Column struct {
 	intVals    []int64
 	floatVals  []float64
 	stringVals []string
-	// reversed caches the descending view (see Reversed).
-	reversed *Column
+	// reversed caches the descending view (see Reversed). It is the only
+	// mutable word in a Column, and it is atomic so that concurrent readers
+	// sharing one table (e.g. parallel discovery jobs over a registered
+	// dataset) may race to initialize it safely.
+	reversed atomic.Pointer[Column]
 }
 
 // Name returns the column name.
@@ -105,9 +123,13 @@ func (c *Column) rankValueString(r int32) string {
 // behind bidirectional order compatibilities (after Szlichta et al., VLDBJ
 // 2018): every validator works unchanged on the reversed view. The view's
 // name carries a "↓" suffix for display.
+//
+// Reversed is safe for concurrent use: losers of the initialization race
+// discard their build and adopt the published view, so double reversal is
+// always pointer-identical to the original.
 func (c *Column) Reversed() *Column {
-	if c.reversed != nil {
-		return c.reversed
+	if r := c.reversed.Load(); r != nil {
+		return r
 	}
 	d := int32(c.distinct)
 	ranks := make([]int32, len(c.ranks))
@@ -128,8 +150,10 @@ func (c *Column) Reversed() *Column {
 	default:
 		rev.stringVals = reverseCopy(c.stringVals)
 	}
-	rev.reversed = c // double reversal returns the original
-	c.reversed = rev
+	rev.reversed.Store(c) // double reversal returns the original
+	if !c.reversed.CompareAndSwap(nil, rev) {
+		return c.reversed.Load()
+	}
 	return rev
 }
 
@@ -172,6 +196,33 @@ func (t *Table) ColumnNames() []string {
 		names[i] = c.name
 	}
 	return names
+}
+
+// ColumnTypes returns the kind names ("int", "float", "string") of all
+// columns in order. Feeding them back through CSVOptions.Types makes a
+// WriteCSV → ReadCSV round trip reconstruct the table exactly (equal
+// Fingerprint), where type re-inference could diverge — e.g. a float column
+// whose values all happen to be integral would re-infer as int.
+func (t *Table) ColumnTypes() []string {
+	types := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		types[i] = c.kind.String()
+	}
+	return types
+}
+
+// Freeze eagerly materializes every column's lazily-cached descending view,
+// after which no code path writes to the table or its columns again — the
+// hard immutability guarantee a registry needs before sharing one *Table
+// across concurrent discovery jobs. (Reversed is independently race-safe via
+// its atomic cache; Freeze additionally removes the allocation from the
+// discovery hot path and future-proofs against non-atomic lazy state.)
+// It returns the table for chaining.
+func (t *Table) Freeze() *Table {
+	for _, c := range t.cols {
+		c.Reversed()
+	}
+	return t
 }
 
 // Select returns a new Table containing only the named columns, in the given

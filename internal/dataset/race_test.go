@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReversedConcurrent pins the immutability contract the service registry
+// relies on when sharing one Table across discovery jobs: concurrent callers
+// of the lazily-cached Reversed view must neither race (the cache used to be
+// a plain pointer write — this test failed under -race then) nor observe
+// different view instances.
+func TestReversedConcurrent(t *testing.T) {
+	tbl, err := NewBuilder().
+		AddInts("a", []int64{3, 1, 2, 2}).
+		AddFloats("f", []float64{0.5, 1.5, 1.5, 2.5}).
+		AddStrings("s", []string{"x", "y", "z", "x"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	views := make([][]*Column, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start // maximize overlap on the initialization race
+			views[g] = make([]*Column, tbl.NumCols())
+			for i := 0; i < tbl.NumCols(); i++ {
+				rev := tbl.Column(i).Reversed()
+				// Interleave the other lazy/read paths shared by jobs.
+				Fingerprint(tbl)
+				_ = rev.Ranks()
+				if rev.Reversed() != tbl.Column(i) {
+					t.Errorf("col %d: double reversal is not the original", i)
+				}
+				views[g][i] = rev
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	// All goroutines must have adopted one published view per column —
+	// losers of the CAS discard their build.
+	for i := 0; i < tbl.NumCols(); i++ {
+		for g := 1; g < goroutines; g++ {
+			if views[g][i] != views[0][i] {
+				t.Fatalf("col %d: goroutine %d observed a different reversed view", i, g)
+			}
+		}
+	}
+}
+
+// TestFreezePrecomputes ensures a frozen table performs no writes at all:
+// every reversed view already exists, so post-freeze use is pure reads.
+func TestFreezePrecomputes(t *testing.T) {
+	tbl, err := NewBuilder().AddInts("a", []int64{1, 2}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Freeze(); got != tbl {
+		t.Error("Freeze must return its receiver")
+	}
+	c := tbl.Column(0)
+	if c.reversed.Load() == nil {
+		t.Fatal("Freeze did not materialize the reversed view")
+	}
+	pre := c.Reversed()
+	if c.Reversed() != pre {
+		t.Error("post-freeze Reversed is not stable")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"aod"
+	"aod/internal/store"
 )
 
 // DefaultMaxUploadBytes bounds POST /datasets bodies unless overridden.
@@ -82,6 +83,12 @@ func (h *handler) postDataset(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrRegistryFull):
 		writeErr(w, http.StatusInsufficientStorage, err)
 		return
+	case errors.Is(err, store.ErrUnserializable):
+		// A permanent property of the uploaded content (e.g. a value
+		// containing "\r\n", which CSV cannot represent losslessly), not a
+		// server fault: the client must change the data, not retry.
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
 	case err != nil: // e.g. the fingerprint-prefix collision refusal
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -98,7 +105,9 @@ func (h *handler) listDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) getDataset(w http.ResponseWriter, r *http.Request) {
-	_, info, err := h.svc.Registry().Get(r.PathValue("id"))
+	// Info, not Get: a metadata read must not page a disk-evicted payload
+	// back into memory.
+	info, err := h.svc.Registry().Info(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return

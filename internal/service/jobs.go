@@ -121,7 +121,10 @@ func (j *Job) view(includeReport bool) JobView {
 // initial view. It never blocks: a saturated queue fails fast with
 // ErrQueueFull so callers can apply backpressure upstream.
 func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
-	_, info, err := s.registry.Get(datasetID)
+	// Info, not Get: validation needs only the schema, so a submission must
+	// not force a disk-evicted payload back into memory — the worker loads
+	// it when the job actually runs.
+	info, err := s.registry.Info(datasetID)
 	if err != nil {
 		return JobView{}, err
 	}
@@ -365,13 +368,17 @@ type flight struct {
 // boolean reports whether the result arrived without a validation run of its
 // own — the service-level definition of a cache hit.
 func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
-	ds, _, err := s.registry.Get(j.datasetID)
-	if err != nil {
-		return nil, false, err
-	}
+	// Cache before payload: j.key was derived at Submit from metadata
+	// alone, so a hit — memory or persisted report store — is served
+	// without paging the (possibly disk-evicted, possibly even corrupt)
+	// dataset payload into memory at all.
 	if rep, ok := s.cache.get(j.key); ok {
 		s.cacheHits.Add(1)
 		return rep, true, nil
+	}
+	ds, _, err := s.registry.Get(j.datasetID)
+	if err != nil {
+		return nil, false, err
 	}
 	s.mu.Lock()
 	if f, inFlight := s.flights[j.key]; inFlight {
@@ -397,8 +404,9 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	}
 	// Re-check the cache under the lock: between the miss above and here
 	// the previous leader may have published its result and retired its
-	// flight.
-	if rep, ok := s.cache.get(j.key); ok {
+	// flight. Memory tier only — no disk I/O while holding s.mu (the disk
+	// tier was already probed by the miss above).
+	if rep, ok := s.cache.getMem(j.key); ok {
 		s.mu.Unlock()
 		s.cacheHits.Add(1)
 		return rep, true, nil

@@ -7,13 +7,20 @@ import (
 	"time"
 
 	"aod"
+	"aod/internal/store"
 )
 
-// ErrRegistryFull is returned by Registry.Add when MaxDatasets is reached.
+// ErrRegistryFull is returned by Registry.Add when MaxDatasets is reached
+// (in-memory mode only; a persistent registry evicts to disk instead).
 var ErrRegistryFull = errors.New("service: dataset registry is full")
 
 // ErrNoDataset is returned when a dataset id is unknown.
 var ErrNoDataset = errors.New("service: no such dataset")
+
+// ErrDatasetUnavailable is returned when a registered dataset's persisted
+// payload cannot be reloaded (missing or quarantined as corrupt). The record
+// is dropped; re-uploading the same content restores it.
+var ErrDatasetUnavailable = errors.New("service: dataset unavailable")
 
 // DatasetInfo is the registry's public record of an uploaded dataset.
 type DatasetInfo struct {
@@ -27,7 +34,9 @@ type DatasetInfo struct {
 	Rows        int    `json:"rows"`
 	Cols        int    `json:"cols"`
 	// Columns are the attribute names in schema order.
-	Columns   []string  `json:"columns"`
+	Columns []string `json:"columns"`
+	// Types are the column kinds ("int", "float", "string") in schema order.
+	Types     []string  `json:"types,omitempty"`
 	CreatedAt time.Time `json:"createdAt"`
 }
 
@@ -35,42 +44,117 @@ type DatasetInfo struct {
 // the same content twice returns the original record, so clients can submit
 // a dataset once and query many (threshold, algorithm) configurations — or
 // re-upload idempotently — without growing server memory.
+//
+// With a Store backend the registry is durable: uploads are written through
+// to disk before they are acknowledged, the metadata manifest is reloaded on
+// startup, and payloads load lazily on first use. The MaxDatasets bound then
+// caps the *resident* set rather than the registry: the least recently used
+// payload is evicted from memory (its bytes stay on disk) instead of the
+// upload being refused.
+//
+// One *aod.Dataset may be shared by any number of concurrent discovery
+// jobs: datasets are immutable by construction (builders copy their
+// inputs), and the only lazily built internal state — the descending column
+// views behind bidirectional discovery — is published atomically
+// (aod.Dataset.Freeze can pre-materialize it, at roughly double the column
+// memory; the registry deliberately does not, so non-bidirectional
+// workloads never pay for it).
 type Registry struct {
 	mu    sync.RWMutex
 	byID  map[string]*storedDataset
 	order []string // insertion order, for stable listings
-	max   int      // 0 = unbounded
+	max   int      // 0 = unbounded; bounds residency when st != nil
+	st    *store.Store
+	clock uint64 // logical LRU clock, ticked on Add and payload use
 }
 
 type storedDataset struct {
 	info DatasetInfo
-	ds   *aod.Dataset
+	ds   *aod.Dataset // nil while evicted to disk (persistent mode)
+	used uint64       // clock tick of the last payload use (LRU eviction)
+	// loading is non-nil while one goroutine reloads the payload from disk
+	// outside the registry lock; others wait on it and re-check. pinned
+	// marks an entry whose payload is being persisted by Add and must not
+	// be evicted before it is actually on disk.
+	loading chan struct{}
+	pinned  bool
 }
 
 // NewRegistry returns a registry bounded to max datasets (0 = unbounded).
-func NewRegistry(max int) *Registry {
-	return &Registry{byID: make(map[string]*storedDataset), max: max}
+// With a non-nil store the registry recovers the store's manifest: every
+// previously uploaded dataset is listed immediately and its payload loads
+// from disk on first use.
+func NewRegistry(max int, st *store.Store) *Registry {
+	r := &Registry{byID: make(map[string]*storedDataset), max: max, st: st}
+	if st != nil {
+		for _, m := range st.Datasets() {
+			info := DatasetInfo{
+				ID:          m.ID,
+				Name:        m.Name,
+				Fingerprint: m.Fingerprint,
+				Rows:        m.Rows,
+				Cols:        m.Cols,
+				Columns:     m.Columns,
+				Types:       m.Types,
+				CreatedAt:   m.CreatedAt,
+			}
+			if _, dup := r.byID[info.ID]; dup {
+				continue // manifest damage; first entry wins
+			}
+			r.byID[info.ID] = &storedDataset{info: info}
+			r.order = append(r.order, info.ID)
+		}
+	}
+	return r
 }
 
 // Add registers the dataset under a fingerprint-derived id and returns its
 // record. Content already present is deduplicated: the existing record is
-// returned with created=false and the new name (if any) is ignored.
+// returned with created=false and the new name (if any) is ignored. With a
+// store backend the dataset is durable on disk before Add returns; a
+// persistence failure fails (and rolls back) the registration.
+//
+// Disk work happens outside the registry lock: the entry is inserted
+// resident-and-pinned first, so lookups proceed during the payload write.
+// The one visible consequence: a concurrent identical upload can observe
+// the record before its durability is final; if the write then fails, the
+// record is rolled back and later use reports the dataset as unknown —
+// clients recover by re-uploading.
 func (r *Registry) Add(name string, ds *aod.Dataset) (DatasetInfo, bool, error) {
 	fp := ds.Fingerprint()
 	id := fp[:12]
+
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if s, ok := r.byID[id]; ok {
 		if s.info.Fingerprint != fp {
+			r.mu.Unlock()
 			// A 48-bit prefix collision between distinct contents
 			// (~2^-48 per pair): refuse rather than silently alias the
 			// stored dataset.
 			return DatasetInfo{}, false, fmt.Errorf(
 				"service: dataset id collision: %q already maps to fingerprint %s", id, s.info.Fingerprint)
 		}
-		return s.info, false, nil
+		if s.ds != nil {
+			// Idempotent re-upload of resident content: nothing to do (the
+			// freshly parsed copy is discarded unfrozen).
+			info := s.info
+			r.mu.Unlock()
+			return info, false, nil
+		}
+		// Evicted (or never loaded since recovery) and the client just
+		// handed us the identical content: make it resident for free — and
+		// re-persist, which self-heals a payload file lost to quarantine or
+		// external corruption.
+		s.ds = ds
+		s.pinned = r.st != nil
+		r.clock++
+		s.used = r.clock
+		info := s.info
+		r.mu.Unlock()
+		return r.finishPersist(s, info, ds, false)
 	}
-	if r.max > 0 && len(r.byID) >= r.max {
+	if r.st == nil && r.max > 0 && len(r.byID) >= r.max {
+		r.mu.Unlock()
 		return DatasetInfo{}, false, ErrRegistryFull
 	}
 	info := DatasetInfo{
@@ -80,22 +164,176 @@ func (r *Registry) Add(name string, ds *aod.Dataset) (DatasetInfo, bool, error) 
 		Rows:        ds.NumRows(),
 		Cols:        ds.NumCols(),
 		Columns:     ds.ColumnNames(),
+		Types:       ds.ColumnTypes(),
 		CreatedAt:   time.Now().UTC(),
 	}
-	r.byID[id] = &storedDataset{info: info, ds: ds}
+	r.clock++
+	s := &storedDataset{info: info, ds: ds, used: r.clock, pinned: r.st != nil}
+	r.byID[id] = s
 	r.order = append(r.order, id)
-	return info, true, nil
+	r.mu.Unlock()
+	return r.finishPersist(s, info, ds, true)
 }
 
-// Get returns the dataset and its record.
+// finishPersist writes the payload through to the store (outside the
+// registry lock), then unpins the entry and applies the residency bound. On
+// failure the registration is rolled back so Add never acknowledges
+// durability it does not have.
+func (r *Registry) finishPersist(s *storedDataset, info DatasetInfo, ds *aod.Dataset, created bool) (DatasetInfo, bool, error) {
+	if r.st == nil {
+		return info, created, nil
+	}
+	err := r.st.PutDataset(metaOf(info), ds)
+	r.mu.Lock()
+	s.pinned = false
+	if err != nil {
+		if created {
+			r.dropLocked(info.ID)
+		} else {
+			s.ds = nil // back to the evicted state it was found in
+		}
+		r.mu.Unlock()
+		return DatasetInfo{}, false, err
+	}
+	r.evictLocked(s)
+	r.mu.Unlock()
+	return info, created, nil
+}
+
+// dropLocked removes the record. Caller holds r.mu.
+func (r *Registry) dropLocked(id string) {
+	delete(r.byID, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used payloads from memory while the
+// resident set exceeds the bound, sparing keep and entries whose payloads
+// are not yet safely on disk (pinned). Only possible in persistent mode,
+// where evicting is just releasing the in-memory copy. Caller holds r.mu.
+func (r *Registry) evictLocked(keep *storedDataset) {
+	if r.st == nil || r.max <= 0 {
+		return
+	}
+	for r.residentLocked() > r.max {
+		var victim *storedDataset
+		for _, s := range r.byID {
+			if s.ds == nil || s.pinned || s == keep {
+				continue
+			}
+			if victim == nil || s.used < victim.used {
+				victim = s
+			}
+		}
+		if victim == nil {
+			return // nothing evictable; the bound yields to correctness
+		}
+		victim.ds = nil // disk retains the bytes; GC reclaims the memory
+	}
+}
+
+func (r *Registry) residentLocked() int {
+	n := 0
+	for _, s := range r.byID {
+		if s.ds != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the dataset and its record, lazily reloading the payload from
+// the store when it is not resident. A payload that fails to reload
+// (quarantined as corrupt, or missing) drops the record and returns
+// ErrDatasetUnavailable.
+//
+// The disk reload runs outside the registry lock — a cold multi-second load
+// must not stall submissions, listings, or other jobs — with a per-entry
+// flight so concurrent users of one cold dataset trigger exactly one read.
 func (r *Registry) Get(id string) (*aod.Dataset, DatasetInfo, error) {
+	if r.st == nil {
+		// In-memory mode: payloads are always resident and there is no LRU
+		// bookkeeping to update — a shared read lock suffices, exactly as
+		// before persistence existed.
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		s, ok := r.byID[id]
+		if !ok {
+			return nil, DatasetInfo{}, fmt.Errorf("%w: %q", ErrNoDataset, id)
+		}
+		return s.ds, s.info, nil
+	}
+	for {
+		r.mu.Lock()
+		s, ok := r.byID[id]
+		if !ok {
+			r.mu.Unlock()
+			return nil, DatasetInfo{}, fmt.Errorf("%w: %q", ErrNoDataset, id)
+		}
+		if s.ds != nil {
+			// Hot path: a recency bump only. Nothing became resident, so
+			// there is nothing to evict — Add and the load path below run
+			// evictLocked when residency actually grows.
+			r.clock++
+			s.used = r.clock
+			ds, info := s.ds, s.info
+			r.mu.Unlock()
+			return ds, info, nil
+		}
+		if ch := s.loading; ch != nil {
+			r.mu.Unlock()
+			<-ch // another goroutine is reloading this payload
+			continue
+		}
+		ch := make(chan struct{})
+		s.loading = ch
+		meta := metaOf(s.info)
+		r.mu.Unlock()
+
+		ds, err := r.st.LoadDataset(meta)
+		r.mu.Lock()
+		s.loading = nil
+		if err != nil {
+			// The store has already quarantined the payload and dropped it
+			// from the manifest; mirror that in the live registry — unless a
+			// concurrent re-upload resurrected the entry (s.ds set by Add)
+			// while we were reading the doomed file, in which case the
+			// fresh registration wins and this Get simply retries.
+			if s.ds != nil {
+				r.mu.Unlock()
+				close(ch)
+				continue
+			}
+			r.dropLocked(id)
+			r.mu.Unlock()
+			close(ch)
+			return nil, DatasetInfo{}, fmt.Errorf("%w: %q: %v", ErrDatasetUnavailable, id, err)
+		}
+		s.ds = ds
+		r.clock++
+		s.used = r.clock
+		info := s.info
+		r.evictLocked(s)
+		r.mu.Unlock()
+		close(ch)
+		return ds, info, nil
+	}
+}
+
+// Info returns the dataset's record without touching its payload — no disk
+// load, no recency bump. Use it for validation and listings.
+func (r *Registry) Info(id string) (DatasetInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s, ok := r.byID[id]
 	if !ok {
-		return nil, DatasetInfo{}, fmt.Errorf("%w: %q", ErrNoDataset, id)
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrNoDataset, id)
 	}
-	return s.ds, s.info, nil
+	return s.info, nil
 }
 
 // List returns all records in upload order.
@@ -114,4 +352,26 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.byID)
+}
+
+// Resident returns the number of datasets whose payload is currently held
+// in memory (equal to Len in in-memory mode).
+func (r *Registry) Resident() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.residentLocked()
+}
+
+// metaOf converts the public record to the store's durable metadata.
+func metaOf(info DatasetInfo) store.DatasetMeta {
+	return store.DatasetMeta{
+		ID:          info.ID,
+		Name:        info.Name,
+		Fingerprint: info.Fingerprint,
+		Rows:        info.Rows,
+		Cols:        info.Cols,
+		Columns:     info.Columns,
+		Types:       info.Types,
+		CreatedAt:   info.CreatedAt,
+	}
 }

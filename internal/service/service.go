@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aod/internal/store"
 )
 
 // Config sizes a Service. The zero value selects sensible defaults.
@@ -23,14 +25,21 @@ type Config struct {
 	// fails with ErrQueueFull beyond it (default 64; negative = unbounded).
 	QueueDepth int
 	// CacheSize is the result-cache capacity in reports (default 128;
-	// negative disables caching).
+	// negative disables the in-memory cache).
 	CacheSize int
 	// MaxDatasets bounds the registry (default 256; negative = unbounded).
+	// With a Store it bounds the in-memory resident set instead: uploads are
+	// never refused, the least recently used payload is evicted to disk.
 	MaxDatasets int
 	// MaxJobHistory bounds retained job records: when exceeded, the oldest
 	// terminal jobs (and their reports) are evicted so a long-running server
 	// cannot grow without bound (default 1024; negative = unbounded).
 	MaxJobHistory int
+	// Store, when non-nil, makes the service durable: datasets and completed
+	// reports are written through to disk, registry metadata is recovered on
+	// startup, and evicted/cold state reloads lazily on use. Nil preserves
+	// the purely in-memory behavior.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -105,8 +114,8 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
-		registry: NewRegistry(cfg.MaxDatasets),
-		cache:    newResultCache(cfg.CacheSize),
+		registry: NewRegistry(cfg.MaxDatasets, cfg.Store),
+		cache:    newResultCache(cfg.CacheSize, cfg.Store),
 		start:    time.Now(),
 		jobs:     make(map[string]*Job),
 		flights:  make(map[string]*flight),
@@ -146,8 +155,11 @@ func (s *Service) Close() {
 // Stats is a point-in-time snapshot of the service counters, served by
 // GET /stats.
 type Stats struct {
-	Datasets      int    `json:"datasets"`
-	JobsSubmitted uint64 `json:"jobsSubmitted"`
+	Datasets int `json:"datasets"`
+	// DatasetsResident counts datasets whose payload is held in memory; the
+	// rest are on disk and reload lazily (equal to Datasets without a Store).
+	DatasetsResident int    `json:"datasetsResident"`
+	JobsSubmitted    uint64 `json:"jobsSubmitted"`
 	JobsDone      uint64 `json:"jobsDone"`
 	JobsFailed    uint64 `json:"jobsFailed"`
 	JobsCanceled  uint64 `json:"jobsCanceled"`
@@ -156,11 +168,20 @@ type Stats struct {
 	// state "running" but holding no worker.
 	JobsWaiting    int64         `json:"jobsWaiting"`
 	JobsQueued     int           `json:"jobsQueued"`
-	CacheHits      uint64        `json:"cacheHits"`
-	CacheMisses    uint64        `json:"cacheMisses"`
-	CacheSize      int           `json:"cacheSize"`
-	CacheCapacity  int           `json:"cacheCapacity"`
-	CacheEvictions uint64        `json:"cacheEvictions"`
+	CacheHits     uint64 `json:"cacheHits"`
+	CacheMisses   uint64 `json:"cacheMisses"`
+	CacheSize     int    `json:"cacheSize"`
+	CacheCapacity int    `json:"cacheCapacity"`
+	// CacheDiskHits counts cache hits answered by the persisted report store
+	// rather than memory — e.g. every first re-submission after a restart.
+	CacheDiskHits  uint64 `json:"cacheDiskHits"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	// Persistent reports whether a Store backs the service. Quarantined and
+	// PersistErrors are its health counters: corrupt files moved aside, and
+	// report write-throughs that failed (all zero without a Store).
+	Persistent     bool          `json:"persistent"`
+	Quarantined    uint64        `json:"quarantined"`
+	PersistErrors  uint64        `json:"persistErrors"`
 	ValidationRuns uint64        `json:"validationRuns"`
 	ValidationTime time.Duration `json:"validationTimeNs"`
 	DiscoveryTime  time.Duration `json:"discoveryTimeNs"`
@@ -175,9 +196,10 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	queued := len(s.pending)
 	s.mu.Unlock()
-	return Stats{
-		Datasets:       s.registry.Len(),
-		JobsSubmitted:  s.jobsSubmitted.Load(),
+	st := Stats{
+		Datasets:         s.registry.Len(),
+		DatasetsResident: s.registry.Resident(),
+		JobsSubmitted:    s.jobsSubmitted.Load(),
 		JobsDone:       s.jobsDone.Load(),
 		JobsFailed:     s.jobsFailed.Load(),
 		JobsCanceled:   s.jobsCanceled.Load(),
@@ -196,4 +218,11 @@ func (s *Service) Stats() Stats {
 		QueueDepth:     s.cfg.QueueDepth,
 		Uptime:         time.Since(s.start),
 	}
+	st.CacheDiskHits = s.cache.diskHits.Load()
+	st.PersistErrors = s.cache.persistErrors.Load()
+	if s.cfg.Store != nil {
+		st.Persistent = true
+		st.Quarantined = s.cfg.Store.Quarantined()
+	}
+	return st
 }

@@ -453,7 +453,7 @@ func TestSubmitValidatesOptions(t *testing.T) {
 }
 
 func TestRegistryDeduplicatesByFingerprint(t *testing.T) {
-	r := NewRegistry(0)
+	r := NewRegistry(0, nil)
 	a, createdA, err := r.Add("first", smallDataset(t))
 	if err != nil {
 		t.Fatal(err)
@@ -474,7 +474,7 @@ func TestRegistryDeduplicatesByFingerprint(t *testing.T) {
 }
 
 func TestRegistryBound(t *testing.T) {
-	r := NewRegistry(1)
+	r := NewRegistry(1, nil)
 	if _, _, err := r.Add("a", smallDataset(t)); err != nil {
 		t.Fatal(err)
 	}
@@ -522,7 +522,7 @@ func TestCanonicalOptionsKey(t *testing.T) {
 }
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	r1, r2, r3 := &aod.Report{}, &aod.Report{}, &aod.Report{}
 	c.put("a", r1)
 	c.put("b", r2)

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+
+	"aod"
+)
+
+const datasetExt = ".csv"
+
+// ErrUnserializable is returned by PutDataset for the rare dataset whose CSV
+// serialization does not reload to identical content (CSV cannot represent a
+// "\r\n" inside a value: the reader folds it to "\n"). Refusing up front is
+// honest — acknowledging the upload and quarantining it on reload would be
+// silent data loss.
+var ErrUnserializable = errors.New("store: dataset does not survive CSV serialization")
+
+// datasetPath is the content-addressed payload file for a fingerprint.
+func (s *Store) datasetPath(fingerprint string) string {
+	return s.path(datasetsDir, fingerprint+datasetExt)
+}
+
+// PutDataset persists the dataset payload (content-addressed by fingerprint,
+// so re-uploads of identical content write no second copy) and upserts its
+// manifest entry. The returned error means the dataset is NOT durable and
+// callers should fail the registration rather than promise persistence.
+func (s *Store) PutDataset(meta DatasetMeta, ds *aod.Dataset) error {
+	if meta.Fingerprint == "" {
+		return errors.New("store: dataset meta has no fingerprint")
+	}
+	path := s.datasetPath(meta.Fingerprint)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		return fmt.Errorf("store: encoding dataset %s: %w", meta.ID, err)
+	}
+	// Prove the payload reloads to the identical content BEFORE
+	// acknowledging durability; LoadDataset would otherwise quarantine it
+	// on first use after a restart.
+	back, err := aod.ReadCSV(bytes.NewReader(buf.Bytes()), aod.CSVOptions{Types: meta.Types})
+	if err != nil || back.Fingerprint() != meta.Fingerprint {
+		return fmt.Errorf("%w: dataset %s", ErrUnserializable, meta.ID)
+	}
+	// The file is content-addressed, so byte-identical content already on
+	// disk needs no write; anything else there (in-place corruption of an
+	// earlier copy) is replaced — a re-upload of the same content heals it.
+	// WriteCSV is deterministic, so the comparison is exact.
+	if existing, rerr := os.ReadFile(path); rerr != nil || !bytes.Equal(existing, buf.Bytes()) {
+		if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			return fmt.Errorf("store: probing dataset %s: %w", meta.ID, rerr)
+		}
+		if err := s.writeFileAtomic(path, buf.Bytes()); err != nil {
+			return fmt.Errorf("store: writing dataset %s: %w", meta.ID, err)
+		}
+	}
+	return s.upsertDataset(meta)
+}
+
+// LoadDataset reloads the payload for meta, parsing the CSV with the
+// manifest's recorded column types (lossless) and verifying that the
+// reloaded content re-derives meta.Fingerprint. A payload that fails to
+// parse or verify is quarantined, dropped from the manifest, and reported
+// as ErrCorrupt; a missing payload is ErrNotFound. Neither is fatal to the
+// caller — the dataset is simply no longer served until re-uploaded.
+func (s *Store) LoadDataset(meta DatasetMeta) (*aod.Dataset, error) {
+	path := s.datasetPath(meta.Fingerprint)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.dropDatasetIfStillMissing(meta.Fingerprint, path)
+		return nil, fmt.Errorf("%w: dataset %s", ErrNotFound, meta.ID)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening dataset %s: %w", meta.ID, err)
+	}
+	ds, perr := aod.ReadCSV(bytes.NewReader(data), aod.CSVOptions{Types: meta.Types})
+	if perr != nil {
+		s.condemnDataset(meta, path, data)
+		return nil, fmt.Errorf("%w: dataset %s: %v", ErrCorrupt, meta.ID, perr)
+	}
+	if fp := ds.Fingerprint(); fp != meta.Fingerprint {
+		s.condemnDataset(meta, path, data)
+		return nil, fmt.Errorf("%w: dataset %s: content fingerprint %s does not match", ErrCorrupt, meta.ID, datasetID(fp))
+	}
+	return ds, nil
+}
+
+// condemnDataset quarantines a payload that failed verification and drops
+// its manifest entry — unless the file no longer holds the bytes the caller
+// read, meaning a concurrent re-upload already replaced the corrupt copy
+// with a healed one that must survive.
+func (s *Store) condemnDataset(meta DatasetMeta, path string, read []byte) {
+	cur, err := os.ReadFile(path)
+	if err == nil && !bytes.Equal(cur, read) {
+		return // healed underneath us; the new copy stands
+	}
+	s.quarantine(path)
+	s.dropDataset(meta.Fingerprint)
+}

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"aod"
+)
+
+// reportEnvelope wraps a persisted report with the cache key it was computed
+// under, so a load can verify the file serves the key it is named for (the
+// file name is only a hash of the key).
+type reportEnvelope struct {
+	Key    string      `json:"key"`
+	Report *aod.Report `json:"report"`
+}
+
+// reportPath names the report file for a cache key. Keys embed JSON and a
+// 64-hex fingerprint, so the file takes the SHA-256 of the key instead of
+// the raw key.
+func (s *Store) reportPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return s.path(reportsDir, hex.EncodeToString(sum[:])+".json")
+}
+
+// PutReport persists the completed report under its cache key, atomically
+// replacing any previous file for the key.
+func (s *Store) PutReport(key string, rep *aod.Report) error {
+	data, err := json.Marshal(reportEnvelope{Key: key, Report: rep})
+	if err != nil {
+		return fmt.Errorf("store: encoding report: %w", err)
+	}
+	if err := s.writeFileAtomic(s.reportPath(key), data); err != nil {
+		return fmt.Errorf("store: writing report: %w", err)
+	}
+	return nil
+}
+
+// GetReport loads the persisted report for the cache key. It returns
+// ok=false both when no report was ever persisted and when the file on disk
+// failed to decode or carried a different key — the latter is quarantined.
+// Either way the caller's recourse is the same: recompute.
+func (s *Store) GetReport(key string) (*aod.Report, bool) {
+	path := s.reportPath(key)
+	var env reportEnvelope
+	err := s.readJSONFile(path, &env)
+	if err != nil {
+		return nil, false
+	}
+	if env.Key != key || env.Report == nil {
+		s.quarantine(path)
+		return nil, false
+	}
+	return env.Report, true
+}

@@ -1,0 +1,172 @@
+// Package store is the disk persistence layer behind the discovery service:
+// a content-addressed dataset store, a report store for completed job
+// results, and a manifest snapshot of registry metadata, all under one data
+// directory. It exists so that an aodserver restart keeps every uploaded
+// dataset and every computed report — the substrate the ROADMAP's scaling
+// items (sharding by fingerprint, replica routing) build on.
+//
+// On-disk layout:
+//
+//	<dir>/manifest.json        registry metadata snapshot (atomic rewrite)
+//	<dir>/datasets/<fp>.csv    dataset payloads named by content fingerprint
+//	<dir>/reports/<h>.json     report envelopes named by SHA-256 of cache key
+//	<dir>/quarantine/          corrupt files are moved here, never deleted
+//	<dir>/tmp/                 staging area for atomic write-then-rename
+//
+// Every write is write-to-temp + fsync + rename, so a crash mid-write leaves
+// at worst an orphan in tmp/, never a torn file under a live name. Every
+// read verifies integrity (content fingerprint for datasets, embedded key
+// for reports); a file that fails verification is quarantined — moved aside
+// for post-mortem — and reported as absent or corrupt, never as a panic or
+// a fatal startup error.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	datasetsDir   = "datasets"
+	reportsDir    = "reports"
+	quarantineDir = "quarantine"
+	tmpDir        = "tmp"
+	manifestName  = "manifest.json"
+)
+
+// ErrNotFound reports that the requested object has no file in the store.
+var ErrNotFound = errors.New("store: not found")
+
+// ErrCorrupt reports that an object's file failed integrity verification and
+// has been quarantined.
+var ErrCorrupt = errors.New("store: corrupt object quarantined")
+
+// Store is a disk-backed object store rooted at one data directory. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	// mu serializes manifest rewrites; payload files are content-addressed
+	// and written atomically, so they need no lock.
+	mu       sync.Mutex
+	manifest manifestFile
+
+	quarantined atomic.Uint64
+	recovered   int // datasets re-indexed by the manifest recovery scan
+}
+
+// Open prepares the data directory (creating it and its subdirectories as
+// needed) and loads the manifest. A corrupt manifest is quarantined and
+// rebuilt by scanning the dataset files, so Open fails only on I/O errors,
+// never on bad content.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty data directory")
+	}
+	s := &Store{dir: dir}
+	for _, sub := range []string{"", datasetsDir, reportsDir, quarantineDir, tmpDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: preparing %s: %w", dir, err)
+		}
+	}
+	// A crash mid-write orphans its temp file; no writer exists at Open, so
+	// sweep them rather than leak disk across restarts.
+	if ents, err := os.ReadDir(s.path(tmpDir)); err == nil {
+		for _, e := range ents {
+			os.Remove(s.path(tmpDir, e.Name()))
+		}
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the data directory the store is rooted at.
+func (s *Store) Dir() string { return s.dir }
+
+// Quarantined returns the number of corrupt files this store instance has
+// moved to the quarantine directory.
+func (s *Store) Quarantined() uint64 { return s.quarantined.Load() }
+
+// Recovered returns the number of datasets re-indexed from payload files
+// after a corrupt manifest was quarantined at Open.
+func (s *Store) Recovered() int { return s.recovered }
+
+// path joins the data directory with relative elements.
+func (s *Store) path(elem ...string) string {
+	return filepath.Join(append([]string{s.dir}, elem...)...)
+}
+
+// writeFileAtomic publishes data under path via write-to-temp, fsync, and
+// rename, so readers never observe a partially written file and a crash
+// cannot tear an existing one.
+func (s *Store) writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(s.path(tmpDir), "put-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	// Make the rename itself durable: without a directory sync the new
+	// entry may not survive power loss even though the file data would.
+	// Best-effort — not every platform or filesystem supports fsync on a
+	// directory handle, and a failure there must not fail a write the
+	// journal will usually persist anyway.
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// quarantine moves the file aside into the quarantine directory under a
+// timestamped name (so repeated quarantines of one path never collide) and
+// counts it. It never deletes data: a corrupt file is evidence.
+func (s *Store) quarantine(path string) {
+	dst := s.path(quarantineDir,
+		fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := os.Rename(path, dst); err != nil {
+		// Could not move it (e.g. already gone); leave it and carry on —
+		// callers already treat the object as absent.
+		return
+	}
+	s.quarantined.Add(1)
+}
+
+// readJSONFile reads and unmarshals path into v. A missing file returns
+// ErrNotFound; undecodable content quarantines the file and returns
+// ErrCorrupt.
+func (s *Store) readJSONFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		s.quarantine(path)
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+	}
+	return nil
+}

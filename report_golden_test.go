@@ -1,0 +1,130 @@
+package aod
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenReport is a handcrafted Report exercising every field of the stable
+// JSON schema — including optional fields (descending, removalRows, the
+// partial-run flags) and the nil-slice normalization — with fixed values, so
+// its serialization is byte-for-byte reproducible.
+func goldenReport() *Report {
+	return &Report{
+		OCs: []OC{
+			{
+				Context:  []string{"pos"},
+				A:        "exp",
+				B:        "sal",
+				Error:    0.1111111111111111,
+				Removals: 1,
+				Level:    3,
+				Score:    0.4444444444444444,
+			},
+			{
+				Context:     nil, // must encode as [], not null
+				A:           "sal",
+				B:           "tax",
+				Descending:  true,
+				Error:       0,
+				Removals:    0,
+				Level:       2,
+				Score:       0.5,
+				RemovalRows: []int{3, 7},
+			},
+		},
+		OFDs: []OFD{
+			{
+				Context:  []string{"pos", "exp"},
+				A:        "bonus",
+				Error:    0.25,
+				Removals: 2,
+				Level:    3,
+				Score:    0.25,
+			},
+		},
+		Stats: Stats{
+			Rows:              9,
+			Attrs:             4,
+			LevelsProcessed:   3,
+			NodesProcessed:    11,
+			OCCandidates:      12,
+			OFDCandidates:     6,
+			OCsFoundPerLevel:  []int{0, 0, 1, 1},
+			OFDsFoundPerLevel: []int{0, 0, 0, 1},
+			ValidationTime:    1500 * time.Microsecond,
+			PartitionTime:     250 * time.Microsecond,
+			TotalTime:         2 * time.Millisecond,
+			TimedOut:          true,
+			EarlyStopped:      true,
+		},
+	}
+}
+
+// TestReportJSONGolden pins the Report wire format byte-for-byte against
+// testdata/report_golden.json. The schema is a published contract shared by
+// the aodserver HTTP API, the persisted report store, and aodiscover -json:
+// any drift must break CI here — visibly, reviewably — instead of breaking
+// clients and invalidating every report persisted by earlier builds. To
+// accept an intentional change, run: go test -run TestReportJSONGolden -update
+func TestReportJSONGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		rep    *Report
+	}{
+		{"full", "report_golden.json", goldenReport()},
+		// The zero Report: nil slices must normalize to [] at every level.
+		{"empty", "report_empty_golden.json", &Report{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("Report JSON drifted from %s (run with -update to accept):\n%s",
+					path, diffLines(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// diffLines renders the first divergence between two byte slices line by
+// line — enough context to review schema drift without a diff tool.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl, gl)
+		}
+	}
+	return "(no line-level difference; byte lengths differ)"
+}
