@@ -1,13 +1,21 @@
 // Command aodbench regenerates the paper's experiments (Figures 2–5,
-// Exp-1 … Exp-6) on the synthetic workloads.
+// Exp-1 … Exp-6) on the synthetic workloads, and snapshots the repo's named
+// perf workloads as machine-readable JSON.
 //
 // Usage:
 //
 //	aodbench [-exp all|1|2|3|4|5|6] [-scale tiny|small|paper] [-seed N] [-out FILE]
+//	aodbench -json BENCH_4.json [-seed N]
 //
-// Example:
+// Examples:
 //
 //	aodbench -exp 3 -scale small
+//	aodbench -json BENCH_4.json   # next perf-trajectory snapshot
+//
+// The -json mode measures a fixed set of named workloads (partition product,
+// validators, end-to-end discovery) with the testing harness and writes
+// ns/op, bytes/op and allocs/op per workload. Snapshots committed as
+// BENCH_<n>.json at the repo root accumulate the perf trajectory across PRs.
 package main
 
 import (
@@ -25,7 +33,29 @@ func main() {
 	scaleFlag := flag.String("scale", "tiny", "workload scale: tiny, small, paper")
 	seed := flag.Int64("seed", 42, "generator seed")
 	out := flag.String("out", "", "also write results to this file")
+	jsonOut := flag.String("json", "", "measure the named perf workloads and write machine-readable results to this file (BENCH_<n>.json)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("aodbench -json — seed=%d started=%s\n", *seed, time.Now().Format(time.RFC3339))
+		start := time.Now()
+		err = bench.RunJSON(f, os.Stdout, *seed)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(*jsonOut) // don't leave a truncated snapshot behind
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %s\n", *jsonOut, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {

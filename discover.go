@@ -298,10 +298,11 @@ func DiscoverContext(ctx context.Context, d *Dataset, opts Options) (*Report, er
 		},
 	}
 	for _, oc := range res.OCs {
-		var ctx []string
-		oc.Context.ForEach(func(a int) { ctx = append(ctx, names[a]) })
+		// Named ctxNames, not ctx: the context.Context parameter is in scope.
+		var ctxNames []string
+		oc.Context.ForEach(func(a int) { ctxNames = append(ctxNames, names[a]) })
 		rep.OCs = append(rep.OCs, OC{
-			Context:     ctx,
+			Context:     ctxNames,
 			A:           names[oc.A],
 			B:           names[oc.B],
 			Descending:  oc.Descending,
@@ -313,10 +314,10 @@ func DiscoverContext(ctx context.Context, d *Dataset, opts Options) (*Report, er
 		})
 	}
 	for _, ofd := range res.OFDs {
-		var ctx []string
-		ofd.Context.ForEach(func(a int) { ctx = append(ctx, names[a]) })
+		var ctxNames []string
+		ofd.Context.ForEach(func(a int) { ctxNames = append(ctxNames, names[a]) })
 		rep.OFDs = append(rep.OFDs, OFD{
-			Context:     ctx,
+			Context:     ctxNames,
 			A:           names[ofd.A],
 			Error:       ofd.Error,
 			Removals:    ofd.Removals,

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"aod/internal/core"
+	"aod/internal/gen"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+// JSONSchema identifies the machine-readable benchmark format. BENCH_<n>.json
+// files committed at the repo root form the perf trajectory across PRs: each
+// file is one snapshot of the named workloads below, produced by
+// `aodbench -json BENCH_<n>.json`.
+const JSONSchema = "aod-bench/v1"
+
+// JSONResult is one measured workload.
+type JSONResult struct {
+	// Name identifies the workload; names are stable across snapshots so
+	// trajectories can be joined on them.
+	Name string `json:"name"`
+	// Iterations is the b.N the testing harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the usual benchmark readings.
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// JSONReport is the file-level envelope.
+type JSONReport struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt time.Time    `json:"generatedAt"`
+	GoOS        string       `json:"goos"`
+	GoArch      string       `json:"goarch"`
+	Seed        int64        `json:"seed"`
+	Results     []JSONResult `json:"results"`
+}
+
+// jsonWorkloads builds the named workload list. Shapes are fixed (not
+// Scale-dependent) so that BENCH_<n>.json files remain comparable across
+// snapshots taken with different flags.
+func jsonWorkloads(seed int64) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	ncv10k := genTable("ncvoter", 10_000, 4, seed)
+	ncv100k := genTable("ncvoter", 100_000, 4, seed)
+	pair100k := gen.CorrelatedPair(100_000, 0.10, seed)
+	flight2k := genTable("flight", 2_000, 10, seed)
+	ncv5k := genTable("ncvoter", 5_000, 10, seed)
+
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"partition-product/n=10000", func(b *testing.B) {
+			p0, p1 := partition.Single(ncv10k.Column(3)), partition.Single(ncv10k.Column(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p0.Product(p1)
+			}
+		}},
+		{"partition-product/n=100000", func(b *testing.B) {
+			p0, p1 := partition.Single(ncv100k.Column(3)), partition.Single(ncv100k.Column(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p0.Product(p1)
+			}
+		}},
+		{"partition-product-into/n=100000", func(b *testing.B) {
+			p0, p1 := partition.Single(ncv100k.Column(3)), partition.Single(ncv100k.Column(1))
+			var s partition.ProductScratch
+			out := &partition.Stripped{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p0.ProductInto(p1, &s, out)
+			}
+		}},
+		{"validate-aoc-optimal/n=100000", func(b *testing.B) {
+			ctx := partition.Universe(100_000)
+			v := validate.New()
+			ca, cb := pair100k.Column(0), pair100k.Column(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.OptimalAOC(ctx, ca, cb, validate.Options{Threshold: 0.15})
+			}
+		}},
+		{"validate-oc-exact/n=100000", func(b *testing.B) {
+			ctx := partition.Universe(100_000)
+			v := validate.New()
+			ca, cb := pair100k.Column(0), pair100k.Column(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.ExactOC(ctx, ca, cb)
+			}
+		}},
+		{"validate-approx-ofd/n=100000", func(b *testing.B) {
+			ctx := partition.Single(ncv100k.Column(3))
+			col := ncv100k.Column(1)
+			v := validate.New()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.ApproxOFD(ctx, col, validate.Options{Threshold: 0.1})
+			}
+		}},
+		{"discover-flight/n=2000,attrs=10", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Discover(flight2k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"discover-ncvoter/n=5000,attrs=10", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Discover(ncv5k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"discover-exact-sortedscan/n=5000,attrs=10", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Discover(ncv5k, core.Config{Validator: core.ValidatorExact, UseSortedScan: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// RunJSON measures the named workloads and writes a JSONReport to w. Results
+// also stream to log as they complete.
+func RunJSON(w io.Writer, log io.Writer, seed int64) error {
+	rep := JSONReport{
+		Schema:      JSONSchema,
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		Seed:        seed,
+	}
+	for _, wl := range jsonWorkloads(seed) {
+		r := testing.Benchmark(wl.fn)
+		if r.N == 0 {
+			// A failed workload (b.Fatal) yields a zero BenchmarkResult;
+			// recording it would poison the trajectory with fake zeros.
+			return fmt.Errorf("bench: workload %q failed", wl.name)
+		}
+		jr := JSONResult{
+			Name:        wl.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, jr)
+		if log != nil {
+			writeJSONLine(log, jr)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func writeJSONLine(log io.Writer, r JSONResult) {
+	fmt.Fprintf(log, "  %s: %s/op, %d allocs/op\n",
+		r.Name, fmtDur(time.Duration(r.NsPerOp)), r.AllocsPerOp)
+}

@@ -36,6 +36,7 @@ func DiscoverContext(ctx context.Context, tbl *dataset.Table, cfg Config) (*Resu
 		eps:      cfg.effectiveThreshold(),
 		numAttrs: numAttrs,
 		v:        validate.New(),
+		arena:    partition.NewArena(),
 		start:    time.Now(),
 	}
 	if cfg.UseSortedScan && cfg.Validator == ValidatorExact {
@@ -55,7 +56,11 @@ type engine struct {
 	eps      float64
 	numAttrs int
 	v        *validate.Validator
-	singles  []*partition.Stripped
+	// arena recycles the CSR buffers of released lattice levels into the
+	// next level's partition products, keeping steady-state traversal
+	// nearly allocation-free.
+	arena   *partition.Arena
+	singles []*partition.Stripped
 	orders   *validate.TableOrders // non-nil only under UseSortedScan
 	start    time.Time
 	deadline time.Time
@@ -122,7 +127,7 @@ func (e *engine) run() *Result {
 		next := lattice.NextLevel(cur, e.numAttrs)
 		if !e.cfg.KeepPartitions && prev2 != nil {
 			for _, n := range prev2.Nodes {
-				n.ReleasePartition()
+				n.ReleasePartition(e.arena)
 			}
 		}
 		prev2, prev, cur = prev, cur, next
@@ -315,10 +320,10 @@ func (e *engine) columnB(b int, desc bool) *dataset.Column {
 
 func (e *engine) materialize(node *lattice.Node) *partition.Stripped {
 	if node.HasPartition() {
-		return node.Partition(e.singles)
+		return node.PartitionIn(e.arena, e.singles)
 	}
 	t0 := time.Now()
-	p := node.Partition(e.singles)
+	p := node.PartitionIn(e.arena, e.singles)
 	e.res.Stats.PartitionTime += time.Since(t0)
 	return p
 }

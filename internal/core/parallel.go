@@ -55,6 +55,7 @@ func DiscoverParallelContext(ctx context.Context, tbl *dataset.Table, cfg Config
 		deadline = start.Add(cfg.TimeLimit)
 	}
 
+	arena := partition.NewArena() // shared: Arena is concurrency-safe
 	singles := make([]*partition.Stripped, numAttrs)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -104,7 +105,7 @@ func DiscoverParallelContext(ctx context.Context, tbl *dataset.Table, cfg Config
 		// safe — every node's Partition() only writes to itself once its
 		// parents are materialized, and parents live on already-complete
 		// levels. Parallel per node.
-		materializeLevel(ctx, prev, singles, workers)
+		materializeLevel(ctx, prev, arena, singles, workers)
 
 		// Phase 2: validate candidates of all nodes concurrently. Each
 		// worker owns a validator; per-node outputs are merged in node
@@ -129,6 +130,7 @@ func DiscoverParallelContext(ctx context.Context, tbl *dataset.Table, cfg Config
 					eps:      eps,
 					numAttrs: numAttrs,
 					v:        validate.New(),
+					arena:    arena,
 					singles:  singles,
 					start:    start,
 				}
@@ -191,7 +193,7 @@ func DiscoverParallelContext(ctx context.Context, tbl *dataset.Table, cfg Config
 		next := lattice.NextLevel(cur, numAttrs)
 		if !cfg.KeepPartitions && prev2 != nil {
 			for _, n := range prev2.Nodes {
-				n.ReleasePartition()
+				n.ReleasePartition(arena)
 			}
 		}
 		prev2, prev, cur = prev, cur, next
@@ -208,7 +210,7 @@ func DiscoverParallelContext(ctx context.Context, tbl *dataset.Table, cfg Config
 // writes its own node. The context is polled per node so a canceled run
 // does not pay for a whole level's partitioning; skipped nodes materialize
 // lazily if ever touched (they won't be — the caller aborts next).
-func materializeLevel(ctx context.Context, lvl *lattice.Level, singles []*partition.Stripped, workers int) {
+func materializeLevel(ctx context.Context, lvl *lattice.Level, arena *partition.Arena, singles []*partition.Stripped, workers int) {
 	if lvl == nil {
 		return
 	}
@@ -222,7 +224,7 @@ func materializeLevel(ctx context.Context, lvl *lattice.Level, singles []*partit
 				if ctx.Err() != nil {
 					continue // keep draining; the caller aborts the level
 				}
-				n.Partition(singles)
+				n.PartitionIn(arena, singles)
 			}
 		}()
 	}

@@ -271,13 +271,13 @@ func TestPartitionReleaseAndRematerialize(t *testing.T) {
 	l2 := NextLevel(l1, 3)
 	n := l2.Nodes[0]
 	p1 := n.Partition(singles)
-	n.ReleasePartition()
+	n.ReleasePartition(nil)
 	if n.HasPartition() {
 		t.Fatal("partition not released")
 	}
 	// Release the parents too, forcing the fold-from-singles path.
-	n.parents[0].ReleasePartition()
-	n.parents[1].ReleasePartition()
+	n.parents[0].ReleasePartition(nil)
+	n.parents[1].ReleasePartition(nil)
 	p2 := n.Partition(singles)
 	if p1.NumClasses() != p2.NumClasses() || !p1.Refines(p2) || !p2.Refines(p1) {
 		t.Fatal("re-materialized partition differs")

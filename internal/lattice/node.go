@@ -37,6 +37,10 @@ type Node struct {
 
 	// part is the stripped partition Π_Set, materialized on demand.
 	part *partition.Stripped
+	// owned marks a partition built by this node (a product), as opposed to
+	// a shared single-attribute or universe partition: only owned partitions
+	// may be recycled into an arena on release.
+	owned bool
 	// classIDs caches part.ClassIDs() for sorted-scan validation.
 	classIDs []int32
 	// parents are two generating parents with Set = p0.Set ∪ p1.Set
@@ -57,6 +61,14 @@ func (n *Node) ClassIDs(singles []*partition.Stripped) []int32 {
 // generating parents (recursively), or — if an ancestor's partition was
 // already released — by folding single-attribute partitions.
 func (n *Node) Partition(singles []*partition.Stripped) *partition.Stripped {
+	return n.PartitionIn(nil, singles)
+}
+
+// PartitionIn is Partition with an arena: products draw their CSR buffers
+// (and probe scratch) from a, so a traversal that releases exhausted levels
+// back into the same arena materializes each new level with near-zero
+// allocations. A nil arena falls back to plain allocation.
+func (n *Node) PartitionIn(a *partition.Arena, singles []*partition.Stripped) *partition.Stripped {
 	if n.part != nil {
 		return n.part
 	}
@@ -69,28 +81,49 @@ func (n *Node) Partition(singles []*partition.Stripped) *partition.Stripped {
 		// Levels >= 2 have two proper parents at level-1 cardinality; the
 		// product of any two distinct strict subsets covering Set yields
 		// Π_Set.
-		p0 := n.parents[0].Partition(singles)
-		p1 := n.parents[1].Partition(singles)
-		n.part = p0.Product(p1)
+		p0 := n.parents[0].PartitionIn(a, singles)
+		p1 := n.parents[1].PartitionIn(a, singles)
+		n.part = productIn(a, p0, p1)
+		n.owned = true
 	default:
-		// Fallback: fold single-attribute partitions.
+		// Fallback: fold single-attribute partitions, recycling the
+		// intermediate products.
 		attrs := n.Set.Attrs()
 		p := singles[attrs[0]]
-		for _, a := range attrs[1:] {
-			p = p.Product(singles[a])
+		for i, c := range attrs[1:] {
+			next := productIn(a, p, singles[c])
+			if i > 0 && a != nil {
+				a.Recycle(p)
+			}
+			p = next
 		}
 		n.part = p
+		n.owned = true
 	}
 	return n.part
+}
+
+func productIn(a *partition.Arena, p, q *partition.Stripped) *partition.Stripped {
+	if a == nil {
+		return p.Product(q)
+	}
+	return a.Product(p, q)
 }
 
 // HasPartition reports whether the partition is currently materialized.
 func (n *Node) HasPartition() bool { return n.part != nil }
 
 // ReleasePartition frees the materialized partition (and cached class ids)
-// to bound memory; both can be re-materialized later if needed.
-func (n *Node) ReleasePartition() {
+// to bound memory; both can be re-materialized later if needed. When the
+// node owns its partition (a product) and a is non-nil, the partition's
+// buffers are recycled into the arena — the caller must guarantee no live
+// references remain.
+func (n *Node) ReleasePartition(a *partition.Arena) {
+	if n.owned && a != nil {
+		a.Recycle(n.part)
+	}
 	n.part = nil
+	n.owned = false
 	n.classIDs = nil
 }
 

@@ -64,16 +64,47 @@ func LISLength(seq []int32) int {
 // LNDS returns the indexes (ascending) of one longest non-decreasing
 // subsequence of seq, in O(n log n) time and O(n) space. The complement of
 // the returned index set is a minimal removal set making seq non-decreasing.
+// It is the allocating convenience form of Scratch.LNDS.
 func LNDS(seq []int32) []int {
+	var s Scratch
+	keep := s.LNDS(seq)
+	if keep == nil {
+		return nil
+	}
+	out := make([]int, len(keep))
+	for i, k := range keep {
+		out[i] = int(k)
+	}
+	return out
+}
+
+// Scratch holds the reusable state of the scratch LNDS form, so validation
+// loops can reconstruct longest non-decreasing subsequences without
+// allocating per call. The zero value is ready to use; not safe for
+// concurrent use.
+type Scratch struct {
+	tailsIdx []int32
+	prev     []int32
+	keep     []int32
+}
+
+// LNDS computes the ascending indexes of one longest non-decreasing
+// subsequence of seq, reusing the scratch buffers: the result aliases the
+// scratch and is valid only until the next call. tailsIdx[k] tracks the
+// index of the current tail of a length-k+1 subsequence; prev[i] is the
+// back-pointer used to reconstruct the kept index set.
+func (s *Scratch) LNDS(seq []int32) []int32 {
 	n := len(seq)
 	if n == 0 {
 		return nil
 	}
-	// tailsIdx[k] = index into seq of the current tail of length k+1.
-	// prev[i] = index of the predecessor of seq[i] in the subsequence it
-	// extends, or -1.
-	tailsIdx := make([]int, 0, 16)
-	prev := make([]int, n)
+	if cap(s.prev) < n {
+		s.prev = make([]int32, n)
+		s.tailsIdx = make([]int32, 0, n)
+		s.keep = make([]int32, n)
+	}
+	prev := s.prev[:n]
+	tailsIdx := s.tailsIdx[:0]
 	for i, v := range seq {
 		lo, hi := 0, len(tailsIdx)
 		for lo < hi {
@@ -90,12 +121,13 @@ func LNDS(seq []int32) []int {
 			prev[i] = -1
 		}
 		if lo == len(tailsIdx) {
-			tailsIdx = append(tailsIdx, i)
+			tailsIdx = append(tailsIdx, int32(i))
 		} else {
-			tailsIdx[lo] = i
+			tailsIdx[lo] = int32(i)
 		}
 	}
-	out := make([]int, len(tailsIdx))
+	s.tailsIdx = tailsIdx
+	out := s.keep[:len(tailsIdx)]
 	at := tailsIdx[len(tailsIdx)-1]
 	for k := len(tailsIdx) - 1; k >= 0; k-- {
 		out[k] = at

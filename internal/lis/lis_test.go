@@ -272,3 +272,35 @@ func TestLNDSRemovalNoLargerThanInversionBound(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestScratchLNDSMatchesLNDS pins the scratch form to the allocating form:
+// identical keep indices on random sequences, and zero steady-state allocs.
+func TestScratchLNDSMatchesLNDS(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	var s Scratch
+	for iter := 0; iter < 300; iter++ {
+		n := rng.Intn(200)
+		seq := make([]int32, n)
+		for i := range seq {
+			seq[i] = int32(rng.Intn(1 + rng.Intn(50)))
+		}
+		want := LNDS(seq)
+		got := s.LNDS(seq)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: scratch LNDS length %d, want %d", iter, len(got), len(want))
+		}
+		for k := range want {
+			if int(got[k]) != want[k] {
+				t.Fatalf("iter %d: scratch LNDS[%d] = %d, want %d", iter, k, got[k], want[k])
+			}
+		}
+	}
+	seq := make([]int32, 2048)
+	for i := range seq {
+		seq[i] = int32(rng.Intn(64))
+	}
+	s.LNDS(seq) // warm
+	if n := testing.AllocsPerRun(20, func() { s.LNDS(seq) }); n != 0 {
+		t.Errorf("scratch LNDS allocates %.1f times per call, want 0", n)
+	}
+}

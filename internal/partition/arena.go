@@ -1,0 +1,125 @@
+package partition
+
+import "sync"
+
+// ProductScratch holds the reusable probe state of the TANE partition
+// product: a stamped row→class array replacing the map probe, and stamped
+// per-class subgroup slots replacing the per-class sort. Stamps (epoch for
+// rows, generation for subgroup slots) make resets O(1) instead of O(n).
+// A zero ProductScratch is ready to use; it is not safe for concurrent use.
+type ProductScratch struct {
+	// otherOf[row] is the id of the other-class containing row, valid only
+	// when rowStamp[row] == epoch (rows stripped from other stay stale).
+	otherOf  []int32
+	rowStamp []int32
+	epoch    int32
+	// subOf[otherClass] is the subgroup slot assigned within the current
+	// p-class, valid only when subStamp[otherClass] == subGen.
+	subOf    []int32
+	subStamp []int32
+	subGen   int32
+	// subCount and subStart hold per-slot row counts and write cursors.
+	subCount []int32
+	subStart []int32
+}
+
+// stamp loads the probe table for q: after the call, rows covered by q have
+// otherOf set to their q-class id under the fresh epoch.
+func (s *ProductScratch) stamp(q *Stripped) {
+	n := q.N
+	if cap(s.otherOf) < n {
+		s.otherOf = make([]int32, n)
+		s.rowStamp = make([]int32, n)
+		s.epoch = 0
+	}
+	s.otherOf = s.otherOf[:n]
+	s.rowStamp = s.rowStamp[:n]
+	s.epoch++
+	if s.epoch <= 0 { // wrapped: hard reset over the full capacity
+		clear(s.rowStamp[:cap(s.rowStamp)])
+		s.epoch = 1
+	}
+	nc := q.NumClasses()
+	if cap(s.subOf) < nc {
+		s.subOf = make([]int32, nc)
+		s.subStamp = make([]int32, nc)
+		s.subGen = 0
+	}
+	s.subOf = s.subOf[:nc]
+	s.subStamp = s.subStamp[:nc]
+	for ci := 0; ci+1 < len(q.offsets); ci++ {
+		for _, row := range q.rows[q.offsets[ci]:q.offsets[ci+1]] {
+			s.otherOf[row] = int32(ci)
+			s.rowStamp[row] = s.epoch
+		}
+	}
+}
+
+// nextClass opens a fresh subgroup generation for the next p-class.
+func (s *ProductScratch) nextClass() {
+	s.subGen++
+	if s.subGen <= 0 { // wrapped: hard reset over the full capacity
+		clear(s.subStamp[:cap(s.subStamp)])
+		s.subGen = 1
+	}
+}
+
+// Arena recycles partition buffers and product scratch across calls. The
+// discovery engine holds one arena per run: released lattice-level
+// partitions return their CSR buffers to the arena and the next level's
+// products reuse them, so steady-state traversal allocates nearly nothing.
+// An Arena is safe for concurrent use (the parallel engine's workers share
+// one); the zero value is ready to use.
+type Arena struct {
+	parts   sync.Pool
+	scratch sync.Pool
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Product computes p · q into a partition drawn from the arena, using pooled
+// scratch. The result must be returned with Recycle once unreferenced for
+// the arena to reuse its buffers.
+func (a *Arena) Product(p, q *Stripped) *Stripped {
+	s := a.GetScratch()
+	out := a.GetStripped()
+	p.ProductInto(q, s, out)
+	a.PutScratch(s)
+	return out
+}
+
+// GetStripped returns a recycled (or fresh) partition whose buffers are
+// reused by ProductInto.
+func (a *Arena) GetStripped() *Stripped {
+	if v := a.parts.Get(); v != nil {
+		return v.(*Stripped)
+	}
+	return &Stripped{}
+}
+
+// Recycle returns a partition to the arena. The caller must not use p (or
+// any Class view into it) afterwards.
+func (a *Arena) Recycle(p *Stripped) {
+	if p != nil {
+		a.parts.Put(p)
+	}
+}
+
+// GetScratch returns a recycled (or fresh) product scratch.
+func (a *Arena) GetScratch() *ProductScratch {
+	if v := a.scratch.Get(); v != nil {
+		return v.(*ProductScratch)
+	}
+	return &ProductScratch{}
+}
+
+// PutScratch returns scratch to the arena.
+func (a *Arena) PutScratch(s *ProductScratch) {
+	if s != nil {
+		a.scratch.Put(s)
+	}
+}
+
+// defaultArena backs the convenience Product and Refines entry points.
+var defaultArena Arena

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// legacyProduct is the pre-CSR implementation of the partition product — a
+// map probe with a per-class sort.Slice for determinism — kept verbatim (on
+// top of the CSR accessors) as the equivalence oracle for the flat TANE
+// array probe that replaced it.
+func legacyProduct(p, other *Stripped) *Stripped {
+	n := p.N
+	classOf := make([]int32, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	for ci := 0; ci < other.NumClasses(); ci++ {
+		for _, row := range other.Class(ci) {
+			classOf[row] = int32(ci)
+		}
+	}
+	out := &Stripped{N: n}
+	probe := make(map[int32][]int32)
+	for pi := 0; pi < p.NumClasses(); pi++ {
+		for _, row := range p.Class(pi) {
+			oc := classOf[row]
+			if oc < 0 {
+				continue
+			}
+			probe[oc] = append(probe[oc], row)
+		}
+		if len(probe) > 0 {
+			keys := make([]int32, 0, len(probe))
+			for k := range probe {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return probe[keys[i]][0] < probe[keys[j]][0] })
+			for _, k := range keys {
+				if g := probe[k]; len(g) >= 2 {
+					out.appendClass(g)
+				}
+				delete(probe, k)
+			}
+		}
+	}
+	return out
+}
+
+// TestProductEquivalentToLegacy pins the CSR product to the legacy
+// implementation layout-for-layout: same classes, in the same order, with
+// the same rows — not just the same set of classes.
+func TestProductEquivalentToLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 300; iter++ {
+		rows := 1 + rng.Intn(120)
+		tbl := randomTable(rng, rows, 3, 1+rng.Intn(8))
+		pa := Single(tbl.Column(0))
+		pb := Single(tbl.Column(1))
+		pc := Single(tbl.Column(2))
+		for _, pair := range [][2]*Stripped{{pa, pb}, {pb, pa}, {pa.Product(pb), pc}, {Universe(rows), pc}} {
+			got := pair[0].Product(pair[1])
+			want := legacyProduct(pair[0], pair[1])
+			if got.N != want.N || !reflect.DeepEqual(classes(got), classes(want)) {
+				t.Fatalf("iter %d: product layout diverged from legacy:\n got %v\nwant %v",
+					iter, classes(got), classes(want))
+			}
+		}
+	}
+}
+
+// TestProductIntoReusesBuffers checks ProductInto against Product and that a
+// recycled output keeps no stale state.
+func TestProductIntoReusesBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	var s ProductScratch
+	out := &Stripped{}
+	for iter := 0; iter < 100; iter++ {
+		rows := 1 + rng.Intn(90)
+		tbl := randomTable(rng, rows, 2, 1+rng.Intn(6))
+		pa := Single(tbl.Column(0))
+		pb := Single(tbl.Column(1))
+		pa.ProductInto(pb, &s, out)
+		want := pa.Product(pb)
+		if !reflect.DeepEqual(classes(out), classes(want)) || out.N != want.N {
+			t.Fatalf("iter %d: ProductInto diverged: got %v want %v", iter, classes(out), classes(want))
+		}
+	}
+}
+
+// TestProductAllocFree pins the steady-state allocation count of the hot
+// path: with warm scratch and a reused output, ProductInto must not allocate.
+func TestProductAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	tbl := randomTable(rng, 4096, 2, 40)
+	pa := Single(tbl.Column(0))
+	pb := Single(tbl.Column(1))
+	var s ProductScratch
+	out := &Stripped{}
+	pa.ProductInto(pb, &s, out) // warm the buffers
+	if n := testing.AllocsPerRun(50, func() {
+		pa.ProductInto(pb, &s, out)
+	}); n != 0 {
+		t.Errorf("ProductInto allocates %.1f times per call in steady state, want 0", n)
+	}
+}
+
+// TestRefinesAllocFree pins Refines' steady-state allocations (pooled probe).
+func TestRefinesAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation pin is meaningless")
+	}
+	rng := rand.New(rand.NewSource(80))
+	tbl := randomTable(rng, 2048, 2, 16)
+	pa := Single(tbl.Column(0))
+	ab := pa.Product(Single(tbl.Column(1)))
+	if !ab.Refines(pa) {
+		t.Fatal("product must refine its factor")
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		ab.Refines(pa)
+	}); n > 0 {
+		t.Errorf("Refines allocates %.1f times per call in steady state, want 0", n)
+	}
+}

@@ -6,67 +6,130 @@
 // A stripped partition omits singleton equivalence classes: a tuple alone in
 // its class can participate in no split and no swap, so every validator in
 // this repository is exact on stripped partitions.
+//
+// Partitions use a flat CSR (compressed-sparse-row) layout: one contiguous
+// row buffer plus class offsets. Compared to a [][]int32 jagged layout this
+// keeps every class of a partition in one cache-friendly allocation, lets
+// Product write its output with two linear passes per class and zero
+// per-class allocations, and lets an Arena recycle whole partitions between
+// lattice levels.
 package partition
 
 import (
 	"fmt"
-	"sort"
 
 	"aod/internal/dataset"
 )
 
 // Stripped is a stripped partition: the non-singleton equivalence classes of
-// a table with respect to some attribute set, each class a slice of row ids.
+// a table with respect to some attribute set, stored in CSR form. Class i
+// occupies rows[offsets[i]:offsets[i+1]]; row ids within a class are in
+// ascending order and classes are ordered by first row id. The zero value is
+// a fully stripped (classless) partition of N rows.
 type Stripped struct {
-	// Classes holds the non-singleton equivalence classes. Row ids within a
-	// class are in ascending order; classes are in order of first row id.
-	Classes [][]int32
 	// N is the number of rows of the underlying table.
 	N int
+	// rows holds the concatenated classes; offsets[i] is the start of class
+	// i, with a final sentinel entry at len(rows). offsets is nil or has at
+	// least one element.
+	rows    []int32
+	offsets []int32
 }
 
 // NumClasses returns the number of non-singleton classes.
-func (p *Stripped) NumClasses() int { return len(p.Classes) }
+func (p *Stripped) NumClasses() int {
+	if len(p.offsets) == 0 {
+		return 0
+	}
+	return len(p.offsets) - 1
+}
+
+// Class returns the i-th class as a view into the shared row buffer. The
+// slice must not be modified and is valid only as long as the partition is.
+func (p *Stripped) Class(i int) []int32 {
+	return p.rows[p.offsets[i]:p.offsets[i+1]]
+}
 
 // Size returns the total number of rows covered by non-singleton classes.
-func (p *Stripped) Size() int {
-	s := 0
-	for _, c := range p.Classes {
-		s += len(c)
-	}
-	return s
-}
+func (p *Stripped) Size() int { return len(p.rows) }
 
 // TotalClasses returns the number of equivalence classes including the
 // stripped singletons: |Π_X| of the unstripped partition.
 func (p *Stripped) TotalClasses() int {
-	return p.N - p.Size() + len(p.Classes)
+	return p.N - p.Size() + p.NumClasses()
 }
 
 // IsUnique reports whether every class is a singleton, i.e. the attribute set
 // is a key for the instance.
-func (p *Stripped) IsUnique() bool { return len(p.Classes) == 0 }
+func (p *Stripped) IsUnique() bool { return p.NumClasses() == 0 }
 
 // String renders a compact summary for debugging.
 func (p *Stripped) String() string {
-	return fmt.Sprintf("Stripped(%d classes over %d/%d rows)", len(p.Classes), p.Size(), p.N)
+	return fmt.Sprintf("Stripped(%d classes over %d/%d rows)", p.NumClasses(), p.Size(), p.N)
+}
+
+// reset prepares p to receive a partition over n rows with at most rowCap
+// covered rows, reusing the existing buffers when large enough.
+func (p *Stripped) reset(n, rowCap int) {
+	p.N = n
+	if cap(p.rows) < rowCap {
+		p.rows = make([]int32, 0, rowCap)
+	} else {
+		p.rows = p.rows[:0]
+	}
+	classCap := rowCap/2 + 1
+	if cap(p.offsets) < classCap {
+		p.offsets = make([]int32, 1, classCap)
+	} else {
+		p.offsets = p.offsets[:1]
+	}
+	p.offsets[0] = 0
+}
+
+// appendClass appends one class (rows ascending) to the partition.
+func (p *Stripped) appendClass(cls []int32) {
+	if p.offsets == nil {
+		p.offsets = append(p.offsets, 0)
+	}
+	p.rows = append(p.rows, cls...)
+	p.offsets = append(p.offsets, int32(len(p.rows)))
+}
+
+// FromClasses builds a stripped partition of n rows from explicit classes
+// (each ascending, ordered by first row id). Classes smaller than two rows
+// are dropped. It is intended for tests and reference implementations.
+func FromClasses(n int, classes [][]int32) *Stripped {
+	p := &Stripped{N: n}
+	for _, cls := range classes {
+		if len(cls) >= 2 {
+			p.appendClass(cls)
+		}
+	}
+	return p
 }
 
 // Single builds the stripped partition of one rank-encoded column.
 func Single(col *dataset.Column) *Stripped {
 	n := col.Len()
 	ranks := col.Ranks()
-	counts := make([]int32, col.NumDistinct())
+	nd := col.NumDistinct()
+	counts := make([]int32, nd)
 	for _, r := range ranks {
 		counts[r]++
 	}
-	// Bucket rows by rank; emit only buckets of size >= 2, ordered by first
-	// occurrence to keep a deterministic layout.
-	starts := make([]int32, col.NumDistinct())
+	// Bucket rows by rank. Buckets are filled in ascending row order, so
+	// bucket contents are ascending and the bucket's first element is the
+	// rank's first-occurrence row.
+	starts := make([]int32, nd)
+	size, nc := 0, 0
 	var off int32
 	for r, c := range counts {
 		starts[r] = off
 		off += c
+		if c >= 2 {
+			size += int(c)
+			nc++
+		}
 	}
 	flat := make([]int32, n)
 	next := append([]int32(nil), starts...)
@@ -74,21 +137,21 @@ func Single(col *dataset.Column) *Stripped {
 		flat[next[r]] = int32(i)
 		next[r]++
 	}
-	p := &Stripped{N: n}
-	type firstClass struct {
-		first int32
-		rank  int32
+	p := &Stripped{
+		N:       n,
+		rows:    make([]int32, 0, size),
+		offsets: make([]int32, 1, nc+1),
 	}
-	var order []firstClass
-	for r := range counts {
-		if counts[r] >= 2 {
-			order = append(order, firstClass{first: flat[starts[r]], rank: int32(r)})
+	// Emit buckets of size >= 2 in first-occurrence order: scanning rows in
+	// ascending order and emitting a bucket exactly when its first row is
+	// reached yields the deterministic layout without any sort.
+	for i := 0; i < n; i++ {
+		r := ranks[i]
+		if counts[r] < 2 || flat[starts[r]] != int32(i) {
+			continue
 		}
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i].first < order[j].first })
-	for _, fc := range order {
-		s, c := starts[fc.rank], counts[fc.rank]
-		p.Classes = append(p.Classes, flat[s:s+c:s+c])
+		p.rows = append(p.rows, flat[starts[r]:starts[r]+counts[r]]...)
+		p.offsets = append(p.offsets, int32(len(p.rows)))
 	}
 	return p
 }
@@ -108,56 +171,90 @@ func FromRowSignature(sig []int64, n int) *Stripped {
 	p := &Stripped{N: n}
 	for _, k := range order {
 		if g := groups[k]; len(g) >= 2 {
-			p.Classes = append(p.Classes, g)
+			p.appendClass(g)
 		}
 	}
 	return p
 }
 
 // Product computes the stripped partition Π_{X∪Y} from Π_X = p and Π_Y =
-// other in O(‖p‖ + classes(other)) time using the TANE probe-table scheme:
-// rows agreeing on both X and Y are exactly rows that share a p-class and an
-// other-class.
+// other. It is the convenience form of ProductInto: scratch comes from a
+// shared pool and the result is freshly allocated (three allocations total).
+// Hot loops should hold a ProductScratch and output buffers instead.
 func (p *Stripped) Product(other *Stripped) *Stripped {
+	s := defaultArena.GetScratch()
+	out := &Stripped{}
+	p.ProductInto(other, s, out)
+	defaultArena.PutScratch(s)
+	return out
+}
+
+// ProductInto computes the stripped partition Π_{X∪Y} into out in
+// O(‖p‖ + ‖other‖) time with the TANE probe-table scheme: rows agreeing on
+// both X and Y are exactly the rows sharing a p-class and an other-class.
+// The probe is a flat row→class array (no map) and subgroups are assigned
+// slots in first-occurrence order (no sort) — since rows within a class are
+// ascending, first-occurrence order is exactly the deterministic
+// first-row-id order of the [][]int32 era. With warm scratch and a
+// previously used out, the call performs zero allocations. It returns out.
+func (p *Stripped) ProductInto(other *Stripped, s *ProductScratch, out *Stripped) *Stripped {
 	if p.N != other.N {
 		panic(fmt.Sprintf("partition: product of partitions over %d and %d rows", p.N, other.N))
 	}
-	n := p.N
-	// classOf[row] = id of the other-class containing row, or -1.
-	classOf := make([]int32, n)
-	for i := range classOf {
-		classOf[i] = -1
-	}
-	for ci, cls := range other.Classes {
+	s.stamp(other)
+	out.reset(p.N, len(p.rows))
+
+	for ci := 0; ci+1 < len(p.offsets); ci++ {
+		cls := p.rows[p.offsets[ci]:p.offsets[ci+1]]
+		// Pass 1: assign each other-class touched by cls a subgroup slot in
+		// first-occurrence order and count its rows.
+		s.nextClass()
+		numSub := 0
 		for _, row := range cls {
-			classOf[row] = int32(ci)
-		}
-	}
-	out := &Stripped{N: n}
-	// For each class of p, group its rows by their other-class id.
-	probe := make(map[int32][]int32)
-	for _, cls := range p.Classes {
-		for _, row := range cls {
-			oc := classOf[row]
-			if oc < 0 {
-				continue // row is a singleton in other: singleton in product
+			if s.rowStamp[row] != s.epoch {
+				continue // singleton in other: singleton in the product
 			}
-			probe[oc] = append(probe[oc], row)
-		}
-		if len(probe) > 0 {
-			// Deterministic order: by first row id of each subgroup. Rows
-			// were appended in ascending order within cls, so each subgroup
-			// is already ascending.
-			keys := make([]int32, 0, len(probe))
-			for k := range probe {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(i, j int) bool { return probe[keys[i]][0] < probe[keys[j]][0] })
-			for _, k := range keys {
-				if g := probe[k]; len(g) >= 2 {
-					out.Classes = append(out.Classes, g)
+			oc := s.otherOf[row]
+			if s.subStamp[oc] != s.subGen {
+				s.subStamp[oc] = s.subGen
+				s.subOf[oc] = int32(numSub)
+				if numSub < len(s.subCount) {
+					s.subCount[numSub] = 0
+				} else {
+					s.subCount = append(s.subCount, 0)
+					s.subStart = append(s.subStart, 0)
 				}
-				delete(probe, k)
+				numSub++
+			}
+			s.subCount[s.subOf[oc]]++
+		}
+		// Lay out the surviving subgroups (size >= 2) in the output CSR.
+		cur := int32(len(out.rows))
+		emitted := false
+		for sub := 0; sub < numSub; sub++ {
+			if s.subCount[sub] >= 2 {
+				s.subStart[sub] = cur
+				cur += s.subCount[sub]
+				out.offsets = append(out.offsets, cur)
+				emitted = true
+			} else {
+				s.subStart[sub] = -1
+			}
+		}
+		if !emitted {
+			continue
+		}
+		// Pass 2: scatter rows to their subgroup slots. Rows are visited in
+		// ascending order, so each subgroup stays ascending.
+		out.rows = out.rows[:cur]
+		for _, row := range cls {
+			if s.rowStamp[row] != s.epoch {
+				continue
+			}
+			sub := s.subOf[s.otherOf[row]]
+			if at := s.subStart[sub]; at >= 0 {
+				out.rows[at] = row
+				s.subStart[sub] = at + 1
 			}
 		}
 	}
@@ -171,8 +268,8 @@ func (p *Stripped) ClassIDs() []int32 {
 	for i := range ids {
 		ids[i] = -1
 	}
-	for ci, cls := range p.Classes {
-		for _, row := range cls {
+	for ci := 0; ci+1 < len(p.offsets); ci++ {
+		for _, row := range p.rows[p.offsets[ci]:p.offsets[ci+1]] {
 			ids[row] = int32(ci)
 		}
 	}
@@ -181,22 +278,26 @@ func (p *Stripped) ClassIDs() []int32 {
 
 // Refines reports whether p refines q: every class of p is contained in a
 // single class of q. The unstripped semantics are used (singletons refine
-// everything).
+// everything). The per-row probe comes from the shared scratch pool, so the
+// check allocates nothing in steady state.
 func (p *Stripped) Refines(q *Stripped) bool {
 	if p.N != q.N {
 		return false
 	}
-	qid := q.ClassIDs()
-	for _, cls := range p.Classes {
-		// All rows of cls must map to the same q class id; -1 (singleton in
-		// q) can cover at most one row, so any -1 in a class of size >= 2
+	s := defaultArena.GetScratch()
+	defer defaultArena.PutScratch(s)
+	s.stamp(q)
+	for ci := 0; ci+1 < len(p.offsets); ci++ {
+		cls := p.rows[p.offsets[ci]:p.offsets[ci+1]]
+		// All rows of cls must map to the same q class; a q-singleton can
+		// cover at most one row, so any singleton in a class of size >= 2
 		// falsifies refinement.
-		first := qid[cls[0]]
-		if first < 0 {
+		if s.rowStamp[cls[0]] != s.epoch {
 			return false
 		}
+		first := s.otherOf[cls[0]]
 		for _, row := range cls[1:] {
-			if qid[row] != first {
+			if s.rowStamp[row] != s.epoch || s.otherOf[row] != first {
 				return false
 			}
 		}
@@ -214,7 +315,8 @@ func Universe(n int) *Stripped {
 		for i := range all {
 			all[i] = int32(i)
 		}
-		p.Classes = [][]int32{all}
+		p.rows = all
+		p.offsets = []int32{0, int32(n)}
 	}
 	return p
 }

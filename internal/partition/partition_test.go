@@ -53,16 +53,25 @@ func signature(tbl *dataset.Table, cols ...int) []int64 {
 	return sig
 }
 
+// classes materializes the CSR layout as [][]int32 for test comparisons.
+func classes(p *Stripped) [][]int32 {
+	out := make([][]int32, 0, p.NumClasses())
+	for i := 0; i < p.NumClasses(); i++ {
+		out = append(out, p.Class(i))
+	}
+	return out
+}
+
 func classesAsSets(p *Stripped) map[int32][]int32 {
 	m := make(map[int32][]int32)
-	for _, cls := range p.Classes {
+	for _, cls := range classes(p) {
 		m[cls[0]] = cls
 	}
 	return m
 }
 
 func samePartition(a, b *Stripped) bool {
-	if a.N != b.N || len(a.Classes) != len(b.Classes) {
+	if a.N != b.N || a.NumClasses() != b.NumClasses() {
 		return false
 	}
 	am, bm := classesAsSets(a), classesAsSets(b)
@@ -89,8 +98,8 @@ func TestSinglePaperExample(t *testing.T) {
 	}
 	want0 := []int32{0, 1, 3}
 	want1 := []int32{2, 4, 5, 6, 7}
-	if !reflect.DeepEqual(p.Classes[0], want0) || !reflect.DeepEqual(p.Classes[1], want1) {
-		t.Errorf("classes = %v", p.Classes)
+	if !reflect.DeepEqual(p.Class(0), want0) || !reflect.DeepEqual(p.Class(1), want1) {
+		t.Errorf("classes = %v", classes(p))
 	}
 	if p.Size() != 8 {
 		t.Errorf("Size = %d, want 8", p.Size())
@@ -131,12 +140,12 @@ func TestProductMatchesSignature(t *testing.T) {
 		ab := pa.Product(pb)
 		want := FromRowSignature(signature(tbl, 0, 1), rows)
 		if !samePartition(ab, want) {
-			t.Fatalf("iter %d: product(a,b) = %v, want %v", iter, ab.Classes, want.Classes)
+			t.Fatalf("iter %d: product(a,b) = %v, want %v", iter, classes(ab), classes(want))
 		}
 		abc := ab.Product(pc)
 		want3 := FromRowSignature(signature(tbl, 0, 1, 2), rows)
 		if !samePartition(abc, want3) {
-			t.Fatalf("iter %d: product(ab,c) = %v, want %v", iter, abc.Classes, want3.Classes)
+			t.Fatalf("iter %d: product(ab,c) = %v, want %v", iter, classes(abc), classes(want3))
 		}
 		// Product is commutative up to class identity.
 		ba := pb.Product(pa)
@@ -172,7 +181,7 @@ func TestProductPanicsOnMismatchedN(t *testing.T) {
 }
 
 func TestClassIDs(t *testing.T) {
-	p := &Stripped{N: 5, Classes: [][]int32{{0, 2}, {1, 4}}}
+	p := FromClasses(5, [][]int32{{0, 2}, {1, 4}})
 	want := []int32{0, 1, 0, -1, 1}
 	if got := p.ClassIDs(); !reflect.DeepEqual(got, want) {
 		t.Errorf("ClassIDs = %v, want %v", got, want)
@@ -181,7 +190,7 @@ func TestClassIDs(t *testing.T) {
 
 func TestRefinesEdgeCases(t *testing.T) {
 	u := Universe(4)
-	fine := &Stripped{N: 4, Classes: [][]int32{{0, 1}}}
+	fine := FromClasses(4, [][]int32{{0, 1}})
 	if !fine.Refines(u) {
 		t.Error("partition should refine universe")
 	}
@@ -217,16 +226,16 @@ func TestFromRowSignatureOrdering(t *testing.T) {
 	if p.NumClasses() != 2 {
 		t.Fatalf("classes = %d", p.NumClasses())
 	}
-	if !reflect.DeepEqual(p.Classes[0], []int32{0, 2}) {
-		t.Errorf("first class = %v", p.Classes[0])
+	if !reflect.DeepEqual(p.Class(0), []int32{0, 2}) {
+		t.Errorf("first class = %v", p.Class(0))
 	}
-	if !reflect.DeepEqual(p.Classes[1], []int32{1, 3}) {
-		t.Errorf("second class = %v", p.Classes[1])
+	if !reflect.DeepEqual(p.Class(1), []int32{1, 3}) {
+		t.Errorf("second class = %v", p.Class(1))
 	}
 }
 
 func TestStringSummary(t *testing.T) {
-	p := &Stripped{N: 5, Classes: [][]int32{{0, 2}}}
+	p := FromClasses(5, [][]int32{{0, 2}})
 	if got := p.String(); got != "Stripped(1 classes over 2/5 rows)" {
 		t.Errorf("String = %q", got)
 	}

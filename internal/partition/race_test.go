@@ -1,0 +1,8 @@
+//go:build race
+
+package partition
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// intentionally drops items under -race, so pooled-scratch allocation pins
+// are skipped.
+const raceEnabled = true

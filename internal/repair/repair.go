@@ -42,7 +42,8 @@ func ForOC(tbl *dataset.Table, ctx *partition.Stripped, a, b int, removed []int3
 		dead[r] = true
 	}
 	var out []Suggestion
-	for _, cls := range ctx.Classes {
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
 		var removedHere []int32
 		for _, row := range cls {
 			if dead[row] {

@@ -89,6 +89,7 @@ func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
 		deadline = start.Add(cfg.TimeLimit)
 	}
 
+	arena := partition.NewArena()
 	singles := make([]*partition.Stripped, numAttrs)
 	for a := 0; a < numAttrs; a++ {
 		singles[a] = partition.Single(tbl.Column(a))
@@ -129,7 +130,7 @@ func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
 					continue // valid with a smaller LHS: non-minimal
 				}
 				parent := prev.Lookup(node.Set.Remove(a))
-				ctx := parent.Partition(singles)
+				ctx := parent.PartitionIn(arena, singles)
 				candidates++
 				res.Candidates++
 				r := v.ApproxOFD(ctx, tbl.Column(a), validate.Options{Threshold: cfg.Threshold})
@@ -155,7 +156,7 @@ func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
 		prev, cur = cur, next
 		if prevPrev != l0 {
 			for _, n := range prevPrev.Nodes {
-				n.ReleasePartition()
+				n.ReleasePartition(arena)
 			}
 		}
 	}

@@ -1,8 +1,6 @@
 package validate
 
 import (
-	"sort"
-
 	"aod/internal/dataset"
 	"aod/internal/lis"
 	"aod/internal/partition"
@@ -34,9 +32,9 @@ func (v *Validator) IterativeAOC(ctx *partition.Stripped, a, b *dataset.Column, 
 	var removed []int32
 
 	maxRank := int32(b.NumDistinct())
-	for _, cls := range ctx.Classes {
-		v.load(cls, ra, rb)
-		sort.Sort(&pairSorter{a: v.a, b: v.b, rows: v.rows})
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
+		v.sortClass(cls, ra, rb, false, 0)
 		m := len(cls)
 		cnt, _ := lis.InversionCounts(v.b, maxRank)
 		alive := make([]bool, m)

@@ -10,12 +10,17 @@
 // rank-encoded columns; tuples in different context classes are independent
 // (see the proof of Theorem 3.3), and stripped singleton classes can contain
 // neither swaps nor splits, so operating on stripped partitions is exact.
+//
+// The hot path is allocation-free in steady state: per-class tuple orders
+// come from an LSD radix sort over packed (A-rank, B-rank) keys held in
+// Validator scratch (see radix.go), and LNDS reconstruction reuses a
+// lis.Scratch. A comparison sort takes over below a small class-size cutoff.
 package validate
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"aod/internal/dataset"
 	"aod/internal/lis"
@@ -74,56 +79,23 @@ func finish(removals int, n int, opts Options, aborted bool, rows []int32) Resul
 	}
 }
 
-// pairSorter sorts class rows by (a asc, b asc) or (a asc, b desc).
-type pairSorter struct {
-	a, b  []int32 // per-position projections
-	rows  []int32
-	bDesc bool
-}
-
-func (s *pairSorter) Len() int { return len(s.rows) }
-func (s *pairSorter) Less(i, j int) bool {
-	if s.a[i] != s.a[j] {
-		return s.a[i] < s.a[j]
-	}
-	if s.bDesc {
-		return s.b[i] > s.b[j]
-	}
-	return s.b[i] < s.b[j]
-}
-func (s *pairSorter) Swap(i, j int) {
-	s.a[i], s.a[j] = s.a[j], s.a[i]
-	s.b[i], s.b[j] = s.b[j], s.b[i]
-	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
-}
-
 // Validator holds reusable scratch buffers so discovery loops do not
 // reallocate per candidate. A zero Validator is ready to use. Validators are
 // not safe for concurrent use.
 type Validator struct {
+	// a, b, rows are the per-position projections of the current class in
+	// sorted order (see sortClass).
 	a, b []int32
 	rows []int32
-	freq []int32
-	scan scanScratch
+	// kv, kvTmp are the radix-sort key buffers (radix.go).
+	kv, kvTmp []pairKV
+	freq      []int32
+	scan      scanScratch
+	lnds      lis.Scratch
 }
 
 // New returns a Validator with empty scratch space.
 func New() *Validator { return &Validator{} }
-
-func (v *Validator) load(cls []int32, ra, rb []int32) {
-	m := len(cls)
-	if cap(v.a) < m {
-		v.a = make([]int32, m)
-		v.b = make([]int32, m)
-		v.rows = make([]int32, m)
-	}
-	v.a, v.b, v.rows = v.a[:m], v.b[:m], v.rows[:m]
-	for i, row := range cls {
-		v.a[i] = ra[row]
-		v.b[i] = rb[row]
-		v.rows[i] = row
-	}
-}
 
 // ExactOC verifies the exact canonical OC X: A ∼ B (Def. 2.10) over the
 // context partition ctx. It returns whether the OC holds and, when it does
@@ -131,9 +103,8 @@ func (v *Validator) load(cls []int32, ra, rb []int32) {
 // O(‖ctx‖ log m) from sorting within classes.
 func (v *Validator) ExactOC(ctx *partition.Stripped, a, b *dataset.Column) (holds bool, witness [2]int32) {
 	ra, rb := a.Ranks(), b.Ranks()
-	for _, cls := range ctx.Classes {
-		v.load(cls, ra, rb)
-		sort.Sort(&pairSorter{a: v.a, b: v.b, rows: v.rows})
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		v.sortClass(ctx.Class(ci), ra, rb, false, 0)
 		// Swap exists iff some element's B is below the running max-B of all
 		// strictly earlier A groups.
 		maxPrev := int32(-1)     // max B over strictly earlier A-groups
@@ -160,6 +131,20 @@ func (v *Validator) ExactOC(ctx *partition.Stripped, a, b *dataset.Column) (hold
 	return true, [2]int32{-1, -1}
 }
 
+// collectRemoved appends the rows outside keep (ascending positions into the
+// sorted class) to removed.
+func (v *Validator) collectRemoved(m int, keep []int32, removed []int32) []int32 {
+	k := 0
+	for i := 0; i < m; i++ {
+		if k < len(keep) && int(keep[k]) == i {
+			k++
+			continue
+		}
+		removed = append(removed, v.rows[i])
+	}
+	return removed
+}
+
 // OptimalAOC is Algorithm 2 of the paper: validate the approximate canonical
 // OC X: A ∼ B in O(n log n) with a guaranteed-minimal removal set
 // (Theorem 3.3). Per context class, tuples are ordered by [A asc, B asc] and
@@ -171,20 +156,13 @@ func (v *Validator) OptimalAOC(ctx *partition.Stripped, a, b *dataset.Column, op
 	ra, rb := a.Ranks(), b.Ranks()
 	removals := 0
 	var removed []int32
-	for _, cls := range ctx.Classes {
-		v.load(cls, ra, rb)
-		sort.Sort(&pairSorter{a: v.a, b: v.b, rows: v.rows})
-		keep := lis.LNDS(v.b)
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
+		v.sortClass(cls, ra, rb, false, 0)
+		keep := v.lnds.LNDS(v.b)
 		removals += len(cls) - len(keep)
 		if opts.CollectRemovals {
-			k := 0
-			for i := range v.rows {
-				if k < len(keep) && keep[k] == i {
-					k++
-					continue
-				}
-				removed = append(removed, v.rows[i])
-			}
+			removed = v.collectRemoved(len(cls), keep, removed)
 		}
 		if !opts.ComputeFullError && !opts.CollectRemovals && removals > budget {
 			return finish(removals, n, opts, true, nil)
@@ -201,22 +179,16 @@ func (v *Validator) OptimalAOD(ctx *partition.Stripped, a, b *dataset.Column, op
 	n := ctx.N
 	budget := removalBudget(opts.Threshold, n)
 	ra, rb := a.Ranks(), b.Ranks()
+	flip := int32(b.NumDistinct() - 1)
 	removals := 0
 	var removed []int32
-	for _, cls := range ctx.Classes {
-		v.load(cls, ra, rb)
-		sort.Sort(&pairSorter{a: v.a, b: v.b, rows: v.rows, bDesc: true})
-		keep := lis.LNDS(v.b)
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
+		v.sortClass(cls, ra, rb, true, flip)
+		keep := v.lnds.LNDS(v.b)
 		removals += len(cls) - len(keep)
 		if opts.CollectRemovals {
-			k := 0
-			for i := range v.rows {
-				if k < len(keep) && keep[k] == i {
-					k++
-					continue
-				}
-				removed = append(removed, v.rows[i])
-			}
+			removed = v.collectRemoved(len(cls), keep, removed)
 		}
 		if !opts.ComputeFullError && !opts.CollectRemovals && removals > budget {
 			return finish(removals, n, opts, true, nil)
@@ -243,26 +215,26 @@ func (v *Validator) SampledAOCEstimate(ctx *partition.Stripped, a, b *dataset.Co
 	}
 	ra, rb := a.Ranks(), b.Ranks()
 	removals, sampled := 0, 0
-	for _, cls := range ctx.Classes {
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
 		m := (len(cls) + stride - 1) / stride
 		if m < 2 {
 			sampled += m
 			continue
 		}
-		if cap(v.a) < m {
-			v.a = make([]int32, m)
-			v.b = make([]int32, m)
-			v.rows = make([]int32, m)
-		}
-		v.a, v.b, v.rows = v.a[:m], v.b[:m], v.rows[:m]
+		v.grow(m)
+		var maxKey uint64
 		for i := 0; i < m; i++ {
 			row := cls[i*stride]
-			v.a[i] = ra[row]
-			v.b[i] = rb[row]
-			v.rows[i] = row
+			k := uint64(uint32(ra[row]))<<32 | uint64(uint32(rb[row]))
+			v.kv[i] = pairKV{key: k, row: row}
+			if k > maxKey {
+				maxKey = k
+			}
 		}
-		sort.Sort(&pairSorter{a: v.a, b: v.b, rows: v.rows})
-		keep := lis.LNDS(v.b)
+		v.sortPairs(m, maxKey)
+		v.decodePairs(m, false, 0)
+		keep := v.lnds.LNDS(v.b)
 		removals += m - len(keep)
 		sampled += m
 	}
@@ -280,7 +252,8 @@ func (v *Validator) SampledAOCEstimate(ctx *partition.Stripped, a, b *dataset.Co
 // within every class of the context partition. Runtime O(‖ctx‖).
 func ExactOFD(ctx *partition.Stripped, a *dataset.Column) bool {
 	ra := a.Ranks()
-	for _, cls := range ctx.Classes {
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
 		first := ra[cls[0]]
 		for _, row := range cls[1:] {
 			if ra[row] != first {
@@ -311,7 +284,8 @@ func (v *Validator) ApproxOFD(ctx *partition.Stripped, a *dataset.Column, opts O
 		v.freq = make([]int32, a.NumDistinct())
 	}
 	freq := v.freq[:a.NumDistinct()]
-	for _, cls := range ctx.Classes {
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
 		var best int32
 		var bestRank int32 = -1
 		for _, row := range cls {
@@ -337,16 +311,47 @@ func (v *Validator) ApproxOFD(ctx *partition.Stripped, a *dataset.Column, opts O
 	return finish(removals, n, opts, false, removed)
 }
 
+// deadPool recycles the removed-row markers of the Verify helpers, so the
+// quadratic diagnostics mark removals in a flat []bool instead of allocating
+// a map per call.
+var deadPool = sync.Pool{New: func() any { return new([]bool) }}
+
+// acquireDead returns a length-n marker with removed rows set. Row ids
+// outside [0, n) are ignored, matching the old map probe's tolerance of
+// foreign ids. Release with releaseDead so the cleared buffer can be reused.
+func acquireDead(n int, removed []int32) *[]bool {
+	dp := deadPool.Get().(*[]bool)
+	if cap(*dp) < n {
+		*dp = make([]bool, n)
+	}
+	*dp = (*dp)[:n]
+	for _, r := range removed {
+		if r >= 0 && int(r) < n {
+			(*dp)[r] = true
+		}
+	}
+	return dp
+}
+
+func releaseDead(dp *[]bool, removed []int32) {
+	for _, r := range removed {
+		if r >= 0 && int(r) < len(*dp) {
+			(*dp)[r] = false
+		}
+	}
+	deadPool.Put(dp)
+}
+
 // VerifyNoSwaps is a test/diagnostic helper: it re-checks from first
 // principles that, after deleting the rows in removed, no swap with respect
 // to X: A ∼ B remains. It is quadratic and intended for small inputs.
 func VerifyNoSwaps(ctx *partition.Stripped, a, b *dataset.Column, removed []int32) error {
-	dead := make(map[int32]bool, len(removed))
-	for _, r := range removed {
-		dead[r] = true
-	}
+	dp := acquireDead(ctx.N, removed)
+	defer releaseDead(dp, removed)
+	dead := *dp
 	ra, rb := a.Ranks(), b.Ranks()
-	for _, cls := range ctx.Classes {
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
 		for i := 0; i < len(cls); i++ {
 			if dead[cls[i]] {
 				continue
@@ -372,12 +377,12 @@ func VerifyNoSwapsOrSplits(ctx *partition.Stripped, a, b *dataset.Column, remove
 	if err := VerifyNoSwaps(ctx, a, b, removed); err != nil {
 		return err
 	}
-	dead := make(map[int32]bool, len(removed))
-	for _, r := range removed {
-		dead[r] = true
-	}
+	dp := acquireDead(ctx.N, removed)
+	defer releaseDead(dp, removed)
+	dead := *dp
 	ra, rb := a.Ranks(), b.Ranks()
-	for _, cls := range ctx.Classes {
+	for ci, nc := 0, ctx.NumClasses(); ci < nc; ci++ {
+		cls := ctx.Class(ci)
 		for i := 0; i < len(cls); i++ {
 			if dead[cls[i]] {
 				continue

@@ -206,7 +206,8 @@ func TestPosExpPosSalApproximationFactor(t *testing.T) {
 func bruteMinimalRemovalOC(ctx *partition.Stripped, a, b *dataset.Column, withSplits bool) int {
 	ra, rb := a.Ranks(), b.Ranks()
 	total := 0
-	for _, cls := range ctx.Classes {
+	for ci := 0; ci < ctx.NumClasses(); ci++ {
+		cls := ctx.Class(ci)
 		m := len(cls)
 		bestKeep := 0
 		for mask := 0; mask < 1<<m; mask++ {

@@ -123,13 +123,18 @@ func resolve(d *Dataset, context []string, a, b string) (ca, cb int, ctx *partit
 	if cb < 0 {
 		return 0, 0, nil, fmt.Errorf("aod: no column %q", b)
 	}
+	arena := partition.NewArena()
 	ctx = partition.Universe(d.NumRows())
-	for _, name := range context {
+	for k, name := range context {
 		i := d.table().ColumnIndex(name)
 		if i < 0 {
 			return 0, 0, nil, fmt.Errorf("aod: no context column %q", name)
 		}
-		ctx = ctx.Product(partition.Single(d.table().Column(i)))
+		next := arena.Product(ctx, partition.Single(d.table().Column(i)))
+		if k > 0 {
+			arena.Recycle(ctx) // intermediate product: reuse its buffers
+		}
+		ctx = next
 	}
 	return ca, cb, ctx, nil
 }
