@@ -5,17 +5,21 @@
 // Usage:
 //
 //	aodbench [-exp all|1|2|3|4|5|6] [-scale tiny|small|paper] [-seed N] [-out FILE]
-//	aodbench -json BENCH_4.json [-seed N]
+//	aodbench -json BENCH_5.json [-seed N] [-baseline BENCH_4.json] [-tolerance 0.20]
 //
 // Examples:
 //
 //	aodbench -exp 3 -scale small
-//	aodbench -json BENCH_4.json   # next perf-trajectory snapshot
+//	aodbench -json BENCH_5.json                        # next perf-trajectory snapshot
+//	aodbench -json /tmp/now.json -baseline BENCH_4.json  # CI regression gate
 //
 // The -json mode measures a fixed set of named workloads (partition product,
 // validators, end-to-end discovery) with the testing harness and writes
 // ns/op, bytes/op and allocs/op per workload. Snapshots committed as
 // BENCH_<n>.json at the repo root accumulate the perf trajectory across PRs.
+// With -baseline the fresh snapshot is additionally diffed against a prior
+// one: any named workload whose ns/op regressed by more than -tolerance
+// (default 20%) fails the run with exit status 1 — the CI perf gate.
 package main
 
 import (
@@ -34,8 +38,14 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	out := flag.String("out", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "measure the named perf workloads and write machine-readable results to this file (BENCH_<n>.json)")
+	baseline := flag.String("baseline", "", "with -json: prior BENCH_<n>.json to gate against; ns/op regressions past -tolerance fail with exit 1")
+	tolerance := flag.Float64("tolerance", 0.20, "with -baseline: allowed fractional ns/op regression per workload")
 	flag.Parse()
 
+	if *baseline != "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "aodbench: -baseline requires -json")
+		os.Exit(2)
+	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -54,6 +64,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %s\n", *jsonOut, time.Since(start).Round(time.Millisecond))
+		if *baseline != "" {
+			base, err := bench.LoadJSON(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cur, err := bench.LoadJSON(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			regressions, notes := bench.CompareReports(base, cur, *tolerance)
+			for _, n := range notes {
+				fmt.Println("note:", n)
+			}
+			if len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no ns/op regressions past %.0f%% vs %s\n", *tolerance*100, *baseline)
+		}
 		return
 	}
 

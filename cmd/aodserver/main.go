@@ -8,14 +8,21 @@
 //
 //	aodserver [-addr :8711] [-workers N] [-queue N] [-cache N]
 //	          [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
-//	          [-data-dir DIR]
+//	          [-data-dir DIR] [-max-report-bytes N]
 //
 // With -data-dir the server is durable: uploaded datasets and completed
 // reports are written through to DIR (atomic write-then-rename, corrupt
 // files quarantined rather than fatal) and recovered on restart, so a
 // restarted server lists every previously uploaded dataset and serves
 // previously computed reports without re-running discovery. Without the
-// flag all state is in-memory, exactly as before.
+// flag all state is in-memory, exactly as before. -max-report-bytes bounds
+// the persisted report tier: past the budget, the least recently used
+// report files are deleted (datasets are never GC'd).
+//
+// Jobs are scheduled by estimated size (rows × cols × lattice levels),
+// smallest first — a cheap probe is not stuck behind a wide-table crawl —
+// and running jobs stream per-level partial results: GET /jobs/{id} shows
+// the latest partial report, GET /jobs/{id}/stream is a live NDJSON feed.
 //
 // Endpoints (see the README for a curl walkthrough):
 //
@@ -24,7 +31,8 @@
 //	GET    /datasets/{id}   one dataset record
 //	POST   /jobs            submit {"datasetId": ..., "options": {...}}
 //	GET    /jobs            list jobs
-//	GET    /jobs/{id}       job status + report once done
+//	GET    /jobs/{id}       job status; partial report while running, report once done
+//	GET    /jobs/{id}/stream NDJSON stream of per-level progress events
 //	DELETE /jobs/{id}       cancel a job
 //	GET    /healthz         liveness probe
 //	GET    /stats           counters (jobs, cache hits/misses, in-flight, ...)
@@ -56,6 +64,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 1024, "retained job-record bound; oldest finished jobs are evicted (negative = unbounded)")
 	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "maximum CSV upload size in bytes")
 	dataDir := flag.String("data-dir", "", "persist datasets and reports under this directory (empty = in-memory only)")
+	maxReportBytes := flag.Int64("max-report-bytes", 0, "report-store disk budget in bytes; least recently used reports are evicted past it (0 = unbounded; needs -data-dir)")
 	flag.Parse()
 
 	var st *store.Store
@@ -65,6 +74,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aodserver:", err)
 			os.Exit(1)
 		}
+		st.SetMaxReportBytes(*maxReportBytes)
+	} else if *maxReportBytes > 0 {
+		fmt.Fprintln(os.Stderr, "aodserver: -max-report-bytes requires -data-dir")
+		os.Exit(2)
 	}
 	svc := service.New(service.Config{
 		Workers:       *workers,

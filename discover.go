@@ -266,19 +266,101 @@ func Discover(d *Dataset, opts Options) (*Report, error) {
 // queues) should prefer this entry point so canceled work stops consuming
 // CPU promptly.
 func DiscoverContext(ctx context.Context, d *Dataset, opts Options) (*Report, error) {
+	return DiscoverStreamContext(ctx, d, opts, nil)
+}
+
+// Progress describes one completed lattice level of a running discovery.
+// The level-wise framework produces results level by level, so each event is
+// a coherent result prefix: every dependency of the completed levels, none
+// of a torn mid-level state. The JSON field names are a stable contract
+// shared with the aodserver streaming API.
+type Progress struct {
+	// Level is the lattice level that just completed; MaxLevel is the last
+	// level this run can reach.
+	Level    int `json:"level"`
+	MaxLevel int `json:"maxLevel"`
+	// Nodes is the number of attribute sets in the completed level;
+	// Candidates the number of candidates validated there.
+	Nodes      int `json:"nodes"`
+	Candidates int `json:"candidates"`
+	// OCsFound and OFDsFound count dependencies discovered so far.
+	OCsFound  int `json:"ocsFound"`
+	OFDsFound int `json:"ofdsFound"`
+	// NodesRemaining bounds the lattice nodes not yet visited;
+	// EstimatedRemaining estimates the remaining work as
+	// rows × attrs × remaining levels (the job scheduler's cost currency).
+	// Both can overestimate: early termination skips everything left.
+	NodesRemaining     int64 `json:"nodesRemaining"`
+	EstimatedRemaining int64 `json:"estimatedRemaining"`
+	// Final marks the run's last event.
+	Final bool `json:"final,omitempty"`
+}
+
+// ProgressFunc receives, per completed lattice level, the progress event and
+// the partial report of everything discovered so far. The report is a fresh
+// copy — safe to retain, serve, or mutate. Called synchronously from the
+// discovery run: a slow callback slows discovery, so hand off and return.
+type ProgressFunc func(p Progress, partial *Report)
+
+// DiscoverStream is Discover with streaming partial results: onLevel is
+// invoked after every completed lattice level. See DiscoverStreamContext.
+func DiscoverStream(d *Dataset, opts Options, onLevel ProgressFunc) (*Report, error) {
+	return DiscoverStreamContext(context.Background(), d, opts, onLevel)
+}
+
+// DiscoverStreamContext runs discovery with cooperative cancellation and
+// per-level progress events. A nil onLevel is allowed (and costs nothing) —
+// DiscoverContext is exactly that. The last event before return has
+// Progress.Final set.
+func DiscoverStreamContext(ctx context.Context, d *Dataset, opts Options, onLevel ProgressFunc) (*Report, error) {
 	cfg := opts.config()
-	var res *core.Result
-	var err error
+	pipe := core.Pipeline{}
 	if opts.Parallelism > 1 {
-		res, err = core.DiscoverParallelContext(ctx, d.table(), cfg, opts.Parallelism)
-	} else {
-		res, err = core.DiscoverContext(ctx, d.table(), cfg)
+		pipe.Executor = core.Pool(opts.Parallelism)
 	}
+	names := d.ColumnNames()
+	if onLevel != nil {
+		pipe.Sink = func(s core.Snapshot) {
+			// Snapshot slices are copies, so the partial result can be
+			// sorted and converted like a final one.
+			partial := &core.Result{OCs: s.OCs, OFDs: s.OFDs, Stats: s.Stats}
+			onLevel(Progress{
+				Level:              s.Level,
+				MaxLevel:           s.MaxLevel,
+				Nodes:              s.Nodes,
+				Candidates:         s.Candidates,
+				OCsFound:           s.Stats.OCsFound(),
+				OFDsFound:          s.Stats.OFDsFound(),
+				NodesRemaining:     s.NodesRemaining,
+				EstimatedRemaining: s.EstimatedRemaining,
+				Final:              s.Final,
+			}, buildReport(names, partial))
+		}
+	}
+	res, err := pipe.Run(ctx, d.table(), cfg)
 	if err != nil {
 		return nil, err
 	}
+	return buildReport(names, res), nil
+}
+
+// EstimateWork is the coarse cost estimate a scheduler can order discovery
+// jobs by before any of them has run: rows × cols × explored levels (the
+// whole lattice, or the MaxLevel bound). A running job refines it through
+// Progress.EstimatedRemaining. A priority, not a prediction — see the
+// scheduling notes in the README.
+func EstimateWork(rows, cols, maxLevel int) int64 {
+	levels := cols
+	if maxLevel > 0 && maxLevel < cols {
+		levels = maxLevel
+	}
+	return core.EstimateCost(rows, cols, levels)
+}
+
+// buildReport sorts the result by interestingness and converts it to the
+// public, name-resolved Report form.
+func buildReport(names []string, res *core.Result) *Report {
 	res.SortByScore()
-	names := d.ColumnNames()
 	rep := &Report{
 		Stats: Stats{
 			Rows:              res.Stats.Rows,
@@ -298,7 +380,7 @@ func DiscoverContext(ctx context.Context, d *Dataset, opts Options) (*Report, er
 		},
 	}
 	for _, oc := range res.OCs {
-		// Named ctxNames, not ctx: the context.Context parameter is in scope.
+		// Named ctxNames, not ctx: context.Context is often in scope here.
 		var ctxNames []string
 		oc.Context.ForEach(func(a int) { ctxNames = append(ctxNames, names[a]) })
 		rep.OCs = append(rep.OCs, OC{
@@ -326,7 +408,7 @@ func DiscoverContext(ctx context.Context, d *Dataset, opts Options) (*Report, er
 			RemovalRows: toInts(ofd.RemovalRows),
 		})
 	}
-	return rep, nil
+	return rep
 }
 
 func toInts(rows []int32) []int {

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadJSON reads a BENCH_<n>.json snapshot written by RunJSON.
+func LoadJSON(path string) (JSONReport, error) {
+	var rep JSONReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("bench: reading snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: decoding %s: %w", path, err)
+	}
+	if rep.Schema != JSONSchema {
+		return rep, fmt.Errorf("bench: %s has schema %q, want %q", path, rep.Schema, JSONSchema)
+	}
+	return rep, nil
+}
+
+// CompareReports diffs current against baseline workload by workload (joined
+// on name, the cross-snapshot stable key) and returns one description per
+// regression: a named workload whose ns/op grew by more than tolerance
+// (0.20 = fail past +20%). Improvements and workloads present in only one
+// snapshot never fail — new workloads must be able to land, and retired ones
+// to leave — but missing baseline workloads are reported so a rename cannot
+// silently drop a gate.
+func CompareReports(baseline, current JSONReport, tolerance float64) (regressions, notes []string) {
+	cur := make(map[string]JSONResult, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	for _, base := range baseline.Results {
+		now, ok := cur[base.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("workload %q in baseline but not measured now", base.Name))
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue // a zero baseline cannot gate anything
+		}
+		ratio := now.NsPerOp / base.NsPerOp
+		if ratio > 1+tolerance {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
+				base.Name, now.NsPerOp, base.NsPerOp, (ratio-1)*100, tolerance*100))
+		}
+	}
+	return regressions, notes
+}

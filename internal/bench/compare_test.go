@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareReports(t *testing.T) {
+	base := JSONReport{Schema: JSONSchema, Results: []JSONResult{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 100},
+		{Name: "zero", NsPerOp: 0},
+	}}
+	cur := JSONReport{Schema: JSONSchema, Results: []JSONResult{
+		{Name: "a", NsPerOp: 115}, // +15%: within tolerance
+		{Name: "b", NsPerOp: 130}, // +30%: regression
+		{Name: "new", NsPerOp: 1}, // only in current: ignored
+		{Name: "zero", NsPerOp: 50},
+	}}
+	regs, notes := CompareReports(base, cur, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "b:") {
+		t.Errorf("regressions = %v, want exactly workload b", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "gone") {
+		t.Errorf("notes = %v, want the missing-workload note", notes)
+	}
+	if regs, _ := CompareReports(base, cur, 0.35); len(regs) != 0 {
+		t.Errorf("at 35%% tolerance want no regressions, got %v", regs)
+	}
+}
+
+func TestCompareReportsExactBoundary(t *testing.T) {
+	base := JSONReport{Schema: JSONSchema, Results: []JSONResult{{Name: "a", NsPerOp: 100}}}
+	cur := JSONReport{Schema: JSONSchema, Results: []JSONResult{{Name: "a", NsPerOp: 120}}}
+	// Exactly +20% is within a 0.20 tolerance (fail only past it).
+	if regs, _ := CompareReports(base, cur, 0.20); len(regs) != 0 {
+		t.Errorf("+20%% at 0.20 tolerance must pass, got %v", regs)
+	}
+}

@@ -23,132 +23,31 @@ func Discover(tbl *dataset.Table, cfg Config) (*Result, error) {
 // validation's latency instead of finishing the lattice. On cancellation the
 // partial result is returned with Stats.Canceled set and a nil error — the
 // same contract as a TimeLimit abort (callers that need the distinction can
-// inspect ctx.Err()).
+// inspect ctx.Err()). It is the serial-executor instantiation of the shared
+// Pipeline.
 func DiscoverContext(ctx context.Context, tbl *dataset.Table, cfg Config) (*Result, error) {
-	numAttrs := tbl.NumCols()
-	if err := cfg.Validate(numAttrs); err != nil {
-		return nil, err
-	}
-	eng := &engine{
-		ctx:      ctx,
-		tbl:      tbl,
-		cfg:      cfg,
-		eps:      cfg.effectiveThreshold(),
-		numAttrs: numAttrs,
-		v:        validate.New(),
-		arena:    partition.NewArena(),
-		start:    time.Now(),
-	}
-	if cfg.UseSortedScan && cfg.Validator == ValidatorExact {
-		eng.orders = validate.NewTableOrders(tbl)
-	}
-	res := eng.run()
-	res.Stats.TotalTime = time.Since(eng.start)
-	res.Stats.Rows = tbl.NumRows()
-	res.Stats.Attrs = numAttrs
-	return res, nil
+	return Pipeline{}.Run(ctx, tbl, cfg)
 }
 
+// engine is the node-processing stage shared by every executor: it examines
+// the candidates hosted at one lattice node, routing them through the
+// configured validator and the axiom-based pruning, and accumulates
+// dependencies and stats into res. Engines are cheap; a pool executor owns
+// one per worker (Validator scratch is not concurrency-safe), all sharing
+// one traversal.
 type engine struct {
-	ctx      context.Context // nil means non-cancellable (Background)
-	tbl      *dataset.Table
-	cfg      Config
-	eps      float64
-	numAttrs int
-	v        *validate.Validator
-	// arena recycles the CSR buffers of released lattice levels into the
-	// next level's partition products, keeping steady-state traversal
-	// nearly allocation-free.
-	arena   *partition.Arena
-	singles []*partition.Stripped
-	orders   *validate.TableOrders // non-nil only under UseSortedScan
-	start    time.Time
-	deadline time.Time
-	res      *Result
+	t *traversal
+	v *validate.Validator
+	// res is the accumulation target: the traversal's result under the
+	// serial executor, a worker-local fragment (merged in node order by the
+	// pool executor) otherwise.
+	res *Result
 }
 
-func (e *engine) run() *Result {
-	e.res = &Result{}
-	st := &e.res.Stats
-	st.OCsFoundPerLevel = make([]int, e.numAttrs+1)
-	st.OFDsFoundPerLevel = make([]int, e.numAttrs+1)
-	if e.cfg.TimeLimit > 0 {
-		e.deadline = e.start.Add(e.cfg.TimeLimit)
-	}
-
-	t0 := time.Now()
-	e.singles = make([]*partition.Stripped, e.numAttrs)
-	for a := 0; a < e.numAttrs; a++ {
-		// Polled per column so cancellation doesn't pay for the whole
-		// O(cols · rows log rows) startup phase on large tables.
-		if e.aborted() {
-			st.PartitionTime += time.Since(t0)
-			return e.res
-		}
-		e.singles[a] = partition.Single(e.tbl.Column(a))
-	}
-	st.PartitionTime += time.Since(t0)
-
-	l0 := lattice.Level0(e.tbl.NumRows(), e.numAttrs)
-	l1 := lattice.Level1(l0, e.tbl, e.singles)
-
-	maxLevel := e.numAttrs
-	if e.cfg.MaxLevel > 0 && e.cfg.MaxLevel < maxLevel {
-		maxLevel = e.cfg.MaxLevel
-	}
-
-	// Level 1: OFD candidates with the empty context.
-	prev2, prev := (*lattice.Level)(nil), l0
-	cur := l1
-	for cur.Number <= maxLevel && len(cur.Nodes) > 0 {
-		st.LevelsProcessed++
-		candidates := 0
-		for _, node := range cur.Nodes {
-			if e.aborted() {
-				return e.res
-			}
-			st.NodesProcessed++
-			candidates += e.processNode(node, prev, prev2)
-		}
-		if e.aborted() {
-			return e.res
-		}
-		// A candidate-free level stays candidate-free at every deeper level
-		// (validity state is upward-closed), so discovery can stop: this is
-		// the early termination that makes AOD discovery faster than exact
-		// OD discovery when dependencies concentrate at low levels (Exp-5).
-		if candidates == 0 {
-			st.EarlyStopped = cur.Number < maxLevel
-			break
-		}
-		if cur.Number == maxLevel {
-			break
-		}
-		next := lattice.NextLevel(cur, e.numAttrs)
-		if !e.cfg.KeepPartitions && prev2 != nil {
-			for _, n := range prev2.Nodes {
-				n.ReleasePartition(e.arena)
-			}
-		}
-		prev2, prev, cur = prev, cur, next
-	}
-	return e.res
-}
-
-// aborted reports that the run must stop — the TimeLimit deadline passed or
-// the caller's context was canceled — and records the cause in the stats. It
-// is polled between candidate validations, so an abort takes effect within
-// one validation's latency.
+// aborted reports that the run must stop, recording the cause in the
+// engine's stats fragment (merged upward by pool executors).
 func (e *engine) aborted() bool {
-	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
-		e.res.Stats.TimedOut = true
-		return true
-	}
-	if e.ctx != nil && e.ctx.Err() != nil {
-		e.res.Stats.Canceled = true
-		return true
-	}
-	return false
+	return e.t.abortedInto(&e.res.Stats)
 }
 
 // processNode examines all candidates hosted at the node: OFDs
@@ -160,8 +59,8 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 	candidates := 0
 
 	// --- Propagate validity state from parents. ------------------------
-	if e.cfg.Bidirectional && node.OCValidDesc == nil {
-		node.OCValidDesc = lattice.NewPairSet(e.numAttrs)
+	if e.t.cfg.Bidirectional && node.OCValidDesc == nil {
+		node.OCValidDesc = lattice.NewPairSet(e.t.numAttrs)
 	}
 	var propagatedConst lattice.AttrSet
 	node.Set.ForEach(func(c int) {
@@ -186,13 +85,13 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 			// here is valid but non-minimal. Skip validation entirely —
 			// unless the pruning ablation wants the cost measured.
 			st.OFDSkipped++
-			if e.cfg.DisablePruning {
+			if e.t.cfg.DisablePruning {
 				parent := parents.Lookup(node.Set.Remove(d))
 				ctx := e.materialize(parent)
 				st.OFDCandidates++
 				candidates++
 				t0 := time.Now()
-				e.validateOFD(ctx, e.tbl.Column(d))
+				e.validateOFD(ctx, e.t.tbl.Column(d))
 				st.ValidationTime += time.Since(t0)
 			}
 			continue
@@ -202,12 +101,12 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 		st.OFDCandidates++
 		candidates++
 		t0 := time.Now()
-		r := e.validateOFD(ctx, e.tbl.Column(d))
+		r := e.validateOFD(ctx, e.t.tbl.Column(d))
 		st.ValidationTime += time.Since(t0)
 		if r.Valid {
 			node.ConstValid = node.ConstValid.Add(d)
 			st.OFDsFoundPerLevel[node.Level]++
-			if e.cfg.IncludeOFDs {
+			if e.t.cfg.IncludeOFDs {
 				ofd := OFD{
 					Context:  node.Set.Remove(d),
 					A:        d,
@@ -216,9 +115,9 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 					Level:    node.Level,
 					Score:    Score(node.Level-1, r.Error),
 				}
-				if e.cfg.CollectRemovalSets {
-					full := e.v.ApproxOFD(ctx, e.tbl.Column(d),
-						validate.Options{Threshold: e.eps, CollectRemovals: true})
+				if e.t.cfg.CollectRemovalSets {
+					full := e.v.ApproxOFD(ctx, e.t.tbl.Column(d),
+						validate.Options{Threshold: e.t.eps, CollectRemovals: true})
 					ofd.RemovalRows = full.RemovalRows
 				}
 				e.res.OFDs = append(e.res.OFDs, ofd)
@@ -231,7 +130,7 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 		return candidates
 	}
 	directions := []bool{false}
-	if e.cfg.Bidirectional {
+	if e.t.cfg.Bidirectional {
 		directions = []bool{false, true}
 	}
 	for i := 0; i < len(attrs); i++ {
@@ -263,7 +162,7 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 					}
 				}
 				if skip {
-					if e.cfg.DisablePruning {
+					if e.t.cfg.DisablePruning {
 						gp := grandparents.Lookup(node.Set.Remove(a).Remove(b))
 						ctx := e.materialize(gp)
 						st.OCCandidates++
@@ -299,7 +198,7 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 						Level:      node.Level,
 						Score:      Score(node.Level-2, r.Error),
 					}
-					if e.cfg.CollectRemovalSets {
+					if e.t.cfg.CollectRemovalSets {
 						oc.RemovalRows = e.collectOCRemovals(ctx, a, b, desc)
 					}
 					e.res.OCs = append(e.res.OCs, oc)
@@ -313,17 +212,17 @@ func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.
 // columnB returns the B column in the requested direction.
 func (e *engine) columnB(b int, desc bool) *dataset.Column {
 	if desc {
-		return e.tbl.Column(b).Reversed()
+		return e.t.tbl.Column(b).Reversed()
 	}
-	return e.tbl.Column(b)
+	return e.t.tbl.Column(b)
 }
 
 func (e *engine) materialize(node *lattice.Node) *partition.Stripped {
 	if node.HasPartition() {
-		return node.PartitionIn(e.arena, e.singles)
+		return node.PartitionIn(e.t.arena, e.t.singles)
 	}
 	t0 := time.Now()
-	p := node.PartitionIn(e.arena, e.singles)
+	p := node.PartitionIn(e.t.arena, e.t.singles)
 	e.res.Stats.PartitionTime += time.Since(t0)
 	return p
 }
@@ -336,31 +235,31 @@ const sampleMinRows = 512
 // candidate's sampled error estimate is so far above the threshold that full
 // validation is skipped.
 func (e *engine) sampleRejects(ctx *partition.Stripped, a, b int, desc bool) bool {
-	if e.cfg.SampleStride <= 1 || e.cfg.Validator == ValidatorExact {
+	if e.t.cfg.SampleStride <= 1 || e.t.cfg.Validator == ValidatorExact {
 		return false
 	}
 	if ctx.Size() < sampleMinRows {
 		return false
 	}
-	slack := e.cfg.SampleSlack
+	slack := e.t.cfg.SampleSlack
 	if slack == 0 {
 		slack = DefaultSampleSlack
 	}
-	est, sampled := e.v.SampledAOCEstimate(ctx, e.tbl.Column(a), e.columnB(b, desc), e.cfg.SampleStride)
+	est, sampled := e.v.SampledAOCEstimate(ctx, e.t.tbl.Column(a), e.columnB(b, desc), e.t.cfg.SampleStride)
 	if sampled == 0 {
 		return false
 	}
-	return est > e.eps+slack
+	return est > e.t.eps+slack
 }
 
 func (e *engine) validateOFD(ctx *partition.Stripped, col *dataset.Column) validate.Result {
-	if e.cfg.Validator == ValidatorExact {
+	if e.t.cfg.Validator == ValidatorExact {
 		if validate.ExactOFD(ctx, col) {
 			return validate.Result{Valid: true}
 		}
 		return validate.Result{Valid: false, Aborted: true}
 	}
-	return e.v.ApproxOFD(ctx, col, validate.Options{Threshold: e.eps})
+	return e.v.ApproxOFD(ctx, col, validate.Options{Threshold: e.t.eps})
 }
 
 // validateOCAt validates the OC candidate with context node gp (whose
@@ -369,26 +268,26 @@ func (e *engine) validateOFD(ctx *partition.Stripped, col *dataset.Column) valid
 // route when enabled.
 func (e *engine) validateOCAt(gp *lattice.Node, ctx *partition.Stripped, a, b int, desc bool) validate.Result {
 	cb := e.columnB(b, desc)
-	if e.orders != nil && e.cfg.Validator == ValidatorExact {
-		ids := gp.ClassIDs(e.singles)
-		ok, _ := e.v.ExactOCScan(ids, ctx.NumClasses(), e.orders.Order(a),
-			e.tbl.Column(a), cb)
+	if e.t.orders != nil && e.t.cfg.Validator == ValidatorExact {
+		ids := gp.ClassIDs(e.t.singles)
+		ok, _ := e.v.ExactOCScan(ids, ctx.NumClasses(), e.t.orders.Order(a),
+			e.t.tbl.Column(a), cb)
 		return validate.Result{Valid: ok, Aborted: !ok}
 	}
-	return e.validateOC(ctx, e.tbl.Column(a), cb)
+	return e.validateOC(ctx, e.t.tbl.Column(a), cb)
 }
 
 func (e *engine) validateOC(ctx *partition.Stripped, a, b *dataset.Column) validate.Result {
-	switch e.cfg.Validator {
+	switch e.t.cfg.Validator {
 	case ValidatorExact:
 		if ok, _ := e.v.ExactOC(ctx, a, b); ok {
 			return validate.Result{Valid: true}
 		}
 		return validate.Result{Valid: false, Aborted: true}
 	case ValidatorIterative:
-		return e.v.IterativeAOC(ctx, a, b, validate.Options{Threshold: e.eps})
+		return e.v.IterativeAOC(ctx, a, b, validate.Options{Threshold: e.t.eps})
 	default:
-		return e.v.OptimalAOC(ctx, a, b, validate.Options{Threshold: e.eps})
+		return e.v.OptimalAOC(ctx, a, b, validate.Options{Threshold: e.t.eps})
 	}
 }
 
@@ -397,7 +296,7 @@ func (e *engine) validateOC(ctx *partition.Stripped, a, b *dataset.Column) valid
 // dependency is deemed valid, the minimal removal set is the useful artifact
 // for repair.
 func (e *engine) collectOCRemovals(ctx *partition.Stripped, a, b int, desc bool) []int32 {
-	r := e.v.OptimalAOC(ctx, e.tbl.Column(a), e.columnB(b, desc),
+	r := e.v.OptimalAOC(ctx, e.t.tbl.Column(a), e.columnB(b, desc),
 		validate.Options{Threshold: 1, CollectRemovals: true})
 	return r.RemovalRows
 }

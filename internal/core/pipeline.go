@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"aod/internal/dataset"
+	"aod/internal/lattice"
+	"aod/internal/partition"
+	"aod/internal/validate"
+)
+
+// Snapshot is the immutable picture of a running discovery delivered to a
+// ProgressSink at each level boundary. The level-wise framework produces
+// results level by level, and the set-based traversal makes every completed
+// level a coherent result prefix: each snapshot's OCs/OFDs are exactly the
+// minimal dependencies of the completed levels, never a torn mid-level view.
+// All slices are copies — a sink may retain a Snapshot indefinitely.
+type Snapshot struct {
+	// Level is the lattice level that just completed.
+	Level int
+	// MaxLevel is the last level this run can reach (numAttrs, or the
+	// Config.MaxLevel bound).
+	MaxLevel int
+	// Nodes is the number of lattice nodes in the completed level.
+	Nodes int
+	// Candidates is the number of candidates validated at this level — the
+	// quantity whose reaching zero ends the traversal early.
+	Candidates int
+	// OCs and OFDs are the dependencies discovered so far, in discovery
+	// order (copies; safe to retain and mutate).
+	OCs  []OC
+	OFDs []OFD
+	// Stats is a deep copy of the run statistics so far.
+	Stats Stats
+	// NodesRemaining is the number of lattice nodes in the levels not yet
+	// processed (an upper bound: early termination can skip them all).
+	NodesRemaining int64
+	// EstimatedRemaining estimates the remaining work as
+	// rows × attrs × remaining levels — the cost currency the service's
+	// size-aware job scheduler trades in.
+	EstimatedRemaining int64
+	// Final marks the run's last snapshot: the traversal is about to return
+	// (lattice exhausted, early-stopped, level bound reached, or aborted by
+	// timeout/cancellation).
+	Final bool
+}
+
+// ProgressSink receives one Snapshot per completed lattice level, called
+// synchronously from the traversal (a slow sink slows discovery — copy and
+// hand off if that matters). A nil sink disables progress reporting at zero
+// cost.
+type ProgressSink func(Snapshot)
+
+// Executor is the pluggable validation stage of the Pipeline: it owns how the
+// candidates of one lattice level are processed (serially, across a worker
+// pool — and, eventually, across a slice of the level on a remote shard).
+// Implementations share the engine's node-processing code; only the schedule
+// differs, so every executor produces identical results and identical
+// (non-timing) stats. Constructors: Serial, Pool.
+type Executor interface {
+	// prepare builds the per-attribute partitions and any executor-owned
+	// state before traversal. It returns false when the run was aborted
+	// (deadline/cancellation), with the abort recorded in t's stats.
+	prepare(t *traversal) bool
+	// runLevel validates the candidates of every node in cur, accumulating
+	// dependencies and stats into t.res in deterministic node order, and
+	// returns the number of candidates validated.
+	runLevel(t *traversal, cur, prev, prev2 *lattice.Level) int
+}
+
+// Pipeline is the unified level-wise traversal that Discover and
+// DiscoverParallel are thin wrappers over: a planner (candidate generation,
+// pruning, early termination — the loop in Run), a pluggable Executor, and an
+// optional ProgressSink invoked at every level boundary. The zero value runs
+// the serial executor with no sink.
+type Pipeline struct {
+	// Executor processes each level's candidates (nil = Serial()).
+	Executor Executor
+	// Sink, when non-nil, receives a Snapshot after every completed level;
+	// the last snapshot of a run has Final set.
+	Sink ProgressSink
+}
+
+// traversal is the shared state of one pipeline run: input, configuration,
+// the partition arena and per-attribute partitions shared by all executors'
+// workers, deadline bookkeeping, and the accumulated result.
+type traversal struct {
+	ctx      context.Context // nil means non-cancellable
+	tbl      *dataset.Table
+	cfg      Config
+	eps      float64
+	numAttrs int
+	maxLevel int
+	// arena recycles the CSR buffers of released lattice levels into the
+	// next level's partition products, keeping steady-state traversal
+	// nearly allocation-free. It is concurrency-safe and shared by all
+	// workers of a pool executor.
+	arena   *partition.Arena
+	singles []*partition.Stripped
+	orders  *validate.TableOrders // non-nil only under UseSortedScan (serial)
+	start   time.Time
+	deadline time.Time
+	res      *Result
+}
+
+// abortedInto reports that the run must stop — the TimeLimit deadline passed
+// or the caller's context was canceled — recording the cause in st. It is
+// polled between candidate validations, so an abort takes effect within one
+// validation's latency.
+func (t *traversal) abortedInto(st *Stats) bool {
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		st.TimedOut = true
+		return true
+	}
+	if t.ctx != nil && t.ctx.Err() != nil {
+		st.Canceled = true
+		return true
+	}
+	return false
+}
+
+// snapshot builds the immutable per-level Snapshot for the just-completed
+// level.
+func (t *traversal) snapshot(lvl *lattice.Level, candidates int, final bool) Snapshot {
+	st := t.res.Stats
+	st.OCsFoundPerLevel = append([]int(nil), st.OCsFoundPerLevel...)
+	st.OFDsFoundPerLevel = append([]int(nil), st.OFDsFoundPerLevel...)
+	st.TotalTime = time.Since(t.start)
+	remaining := t.maxLevel - lvl.Number
+	if final {
+		remaining = 0
+	}
+	return Snapshot{
+		Level:              lvl.Number,
+		MaxLevel:           t.maxLevel,
+		Nodes:              len(lvl.Nodes),
+		Candidates:         candidates,
+		OCs:                append([]OC(nil), t.res.OCs...),
+		OFDs:               append([]OFD(nil), t.res.OFDs...),
+		Stats:              st,
+		NodesRemaining:     lattice.RemainingNodes(t.numAttrs, lvl.Number, t.maxLevel),
+		EstimatedRemaining: EstimateCost(t.tbl.NumRows(), t.numAttrs, remaining),
+		Final:              final,
+	}
+}
+
+// EstimateCost is the scheduler's work estimate for traversing `levels` more
+// lattice levels of a rows × attrs table. It is deliberately coarse — a
+// priority, not a prediction: validation cost per level varies with pruning,
+// but rows × attrs × remaining levels orders jobs well enough that small jobs
+// stop starving behind large ones.
+func EstimateCost(rows, attrs, levels int) int64 {
+	if levels < 0 {
+		levels = 0
+	}
+	return int64(rows) * int64(attrs) * int64(levels)
+}
+
+// Run executes the level-wise discovery framework over the table: generate
+// level ℓ+1 from level ℓ, hand each level's candidate validation to the
+// Executor, deliver a Snapshot per level boundary, and stop on lattice
+// exhaustion, a candidate-free level (validity state is upward-closed, so a
+// candidate-free level stays candidate-free at every deeper level — the early
+// termination behind Exp-5), the MaxLevel bound, a TimeLimit, or context
+// cancellation. Aborted runs return the partial result with
+// Stats.TimedOut/Canceled set and a nil error.
+func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Result, error) {
+	numAttrs := tbl.NumCols()
+	if err := cfg.Validate(numAttrs); err != nil {
+		return nil, err
+	}
+	exec := p.Executor
+	if exec == nil {
+		exec = Serial()
+	}
+	maxLevel := numAttrs
+	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxLevel {
+		maxLevel = cfg.MaxLevel
+	}
+	t := &traversal{
+		ctx:      ctx,
+		tbl:      tbl,
+		cfg:      cfg,
+		eps:      cfg.effectiveThreshold(),
+		numAttrs: numAttrs,
+		maxLevel: maxLevel,
+		arena:    partition.NewArena(),
+		start:    time.Now(),
+		res:      &Result{},
+	}
+	st := &t.res.Stats
+	st.Rows = tbl.NumRows()
+	st.Attrs = numAttrs
+	st.OCsFoundPerLevel = make([]int, numAttrs+1)
+	st.OFDsFoundPerLevel = make([]int, numAttrs+1)
+	if cfg.TimeLimit > 0 {
+		t.deadline = t.start.Add(cfg.TimeLimit)
+	}
+
+	// Startup: per-attribute partitions (and executor state). Abort polling
+	// inside prepare keeps cancellation from paying for the whole
+	// O(cols · rows log rows) partitioning phase on large tables.
+	t0 := time.Now()
+	ok := exec.prepare(t)
+	st.PartitionTime += time.Since(t0)
+	if !ok {
+		st.TotalTime = time.Since(t.start)
+		return t.res, nil
+	}
+
+	l0 := lattice.Level0(tbl.NumRows(), numAttrs)
+	prev2, prev := (*lattice.Level)(nil), l0
+	cur := lattice.Level1(l0, tbl, t.singles)
+	for {
+		st.LevelsProcessed++
+		candidates := exec.runLevel(t, cur, prev, prev2)
+		aborted := st.TimedOut || st.Canceled
+		if !aborted && candidates == 0 {
+			st.EarlyStopped = cur.Number < maxLevel
+		}
+		last := aborted || candidates == 0 || cur.Number == maxLevel
+		if p.Sink != nil {
+			p.Sink(t.snapshot(cur, candidates, last))
+		}
+		if last {
+			break
+		}
+		next := lattice.NextLevel(cur, numAttrs)
+		if !cfg.KeepPartitions && prev2 != nil {
+			// prev2 is two levels behind the new frontier: its partitions are
+			// no longer reachable as parents or grandparents, so their CSR
+			// buffers recycle into the arena for the next level's products.
+			for _, n := range prev2.Nodes {
+				n.ReleasePartition(t.arena)
+			}
+		}
+		prev2, prev, cur = prev, cur, next
+	}
+	st.TotalTime = time.Since(t.start)
+	return t.res, nil
+}

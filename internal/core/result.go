@@ -129,6 +129,71 @@ type Stats struct {
 	EarlyStopped bool
 }
 
+// sortCanonical orders dependencies in the engine's sequential discovery
+// order (level, context bitmask, attrs); used by tests to compare parallel
+// and sequential results.
+func (r *Result) sortCanonical() {
+	sort.Slice(r.OCs, func(i, j int) bool {
+		if r.OCs[i].Level != r.OCs[j].Level {
+			return r.OCs[i].Level < r.OCs[j].Level
+		}
+		si := r.OCs[i].Context.Add(r.OCs[i].A).Add(r.OCs[i].B)
+		sj := r.OCs[j].Context.Add(r.OCs[j].A).Add(r.OCs[j].B)
+		if si != sj {
+			return si < sj
+		}
+		if r.OCs[i].A != r.OCs[j].A {
+			return r.OCs[i].A < r.OCs[j].A
+		}
+		if r.OCs[i].B != r.OCs[j].B {
+			return r.OCs[i].B < r.OCs[j].B
+		}
+		return !r.OCs[i].Descending && r.OCs[j].Descending
+	})
+	sort.Slice(r.OFDs, func(i, j int) bool {
+		if r.OFDs[i].Level != r.OFDs[j].Level {
+			return r.OFDs[i].Level < r.OFDs[j].Level
+		}
+		si := r.OFDs[i].Context.Add(r.OFDs[i].A)
+		sj := r.OFDs[j].Context.Add(r.OFDs[j].A)
+		if si != sj {
+			return si < sj
+		}
+		return r.OFDs[i].A < r.OFDs[j].A
+	})
+}
+
+// SortCanonical exposes the canonical (level, node, attrs) ordering.
+func (r *Result) SortCanonical() { r.sortCanonical() }
+
+// merge folds a worker-local stats fragment into s: counters and validator
+// times sum, per-level found counts add elementwise, and abort flags OR. It
+// is the single accounting path for every executor — the serial executor
+// accumulates into the run's stats directly; pool workers accumulate
+// fragments that merge here — so serial and parallel runs produce identical
+// non-timing stats by construction. Run-level fields (Rows, Attrs,
+// LevelsProcessed, TotalTime, EarlyStopped) are owned by the pipeline and
+// left untouched.
+func (s *Stats) merge(o *Stats) {
+	s.NodesProcessed += o.NodesProcessed
+	s.OCCandidates += o.OCCandidates
+	s.OFDCandidates += o.OFDCandidates
+	s.OCSkippedMinimality += o.OCSkippedMinimality
+	s.OCSkippedConstancy += o.OCSkippedConstancy
+	s.OFDSkipped += o.OFDSkipped
+	s.OCSampledRejected += o.OCSampledRejected
+	s.ValidationTime += o.ValidationTime
+	s.PartitionTime += o.PartitionTime
+	s.TimedOut = s.TimedOut || o.TimedOut
+	s.Canceled = s.Canceled || o.Canceled
+	for lvl, c := range o.OCsFoundPerLevel {
+		s.OCsFoundPerLevel[lvl] += c
+	}
+	for lvl, c := range o.OFDsFoundPerLevel {
+		s.OFDsFoundPerLevel[lvl] += c
+	}
+}
+
 // OCsFound returns the total number of discovered OCs per the stats.
 func (s *Stats) OCsFound() int {
 	t := 0

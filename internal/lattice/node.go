@@ -1,6 +1,8 @@
 package lattice
 
 import (
+	"math/bits"
+
 	"aod/internal/dataset"
 	"aod/internal/partition"
 )
@@ -174,6 +176,50 @@ func Level1(l0 *Level, tbl *dataset.Table, singles []*partition.Stripped) *Level
 		lvl.bySet[n.Set] = n
 	}
 	return lvl
+}
+
+// RemainingNodes returns the number of lattice nodes in levels
+// (fromLevel, maxLevel] — the sum of binomial coefficients C(numAttrs, k) for
+// fromLevel < k ≤ maxLevel. Traversal snapshots use it as an upper bound on
+// the nodes a running discovery may still visit (early termination can skip
+// them all). The running product never overflows for numAttrs ≤ 64: the
+// largest term C(64, 32) ≈ 1.8e18 fits an int64, and the sum saturates at
+// MaxInt64 rather than wrapping.
+func RemainingNodes(numAttrs, fromLevel, maxLevel int) int64 {
+	if maxLevel > numAttrs {
+		maxLevel = numAttrs
+	}
+	var total int64
+	for k := fromLevel + 1; k <= maxLevel; k++ {
+		c := binomial(numAttrs, k)
+		if total > (1<<63-1)-c {
+			return 1<<63 - 1
+		}
+		total += c
+	}
+	return total
+}
+
+// binomial computes C(n, k) with the multiplicative formula for n ≤ 64. Each
+// prefix value is itself a binomial C(n-k+i, i) and so fits int64 (the
+// largest, C(64, 32) ≈ 1.8e18, does), but the undivided product c·(n-k+i)
+// does not — C(63, 31)·64 ≈ 5.9e19 — so the multiply-then-divide step runs
+// through a 128-bit intermediate.
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := uint64(1)
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(c, uint64(n-k+i))
+		// Exact division: hi < i because the quotient C(n-k+i, i) fits 64
+		// bits, so Div64 cannot panic.
+		c, _ = bits.Div64(hi, lo, uint64(i))
+	}
+	return int64(c)
 }
 
 // NextLevel generates level ℓ+1 from level ℓ: every set S with |S| = ℓ+1 is

@@ -188,10 +188,39 @@ func (f *Fenwick) Reset() {
 // When seq is the B-projection of a class sorted by (A asc, B asc), these
 // counts are exactly the per-tuple swap counts of Algorithm 1 (ties in A are
 // B-ascending and therefore contribute no inversions). Runtime O(n log n).
+// It is the allocating convenience form of InvScratch.Counts.
 func InversionCounts(seq []int32, maxRank int32) (perElem []int32, total int64) {
+	var s InvScratch
+	return s.Counts(seq, maxRank)
+}
+
+// InvScratch holds the reusable state of the scratch inversion-counting
+// form — the per-element count buffer and the Fenwick tree — so validation
+// loops can compute swap counts without allocating per class. The zero value
+// is ready to use; not safe for concurrent use.
+type InvScratch struct {
+	per []int32
+	ft  Fenwick
+}
+
+// Counts is InversionCounts reusing the scratch buffers: the returned slice
+// aliases the scratch and is valid only until the next call.
+func (s *InvScratch) Counts(seq []int32, maxRank int32) (perElem []int32, total int64) {
 	n := len(seq)
-	perElem = make([]int32, n)
-	ft := NewFenwick(int(maxRank))
+	if s.per == nil || cap(s.per) < n {
+		// Allocated even for n == 0 (a zero-size make is heap-free), so the
+		// result is a non-nil empty slice like the pre-scratch form returned.
+		s.per = make([]int32, n)
+	}
+	perElem = s.per[:n]
+	clear(perElem)
+	if cap(s.ft.tree) < int(maxRank)+1 {
+		s.ft.tree = make([]int32, maxRank+1)
+	} else {
+		s.ft.tree = s.ft.tree[:maxRank+1]
+		s.ft.Reset()
+	}
+	ft := &s.ft
 	// Left-to-right: count earlier elements strictly greater than seq[i].
 	for i, v := range seq {
 		seen := int32(i)

@@ -26,7 +26,8 @@ type HandlerConfig struct {
 //	GET    /datasets/{id}   one dataset record
 //	POST   /jobs            {"datasetId": ..., "options": {...}} → job (202)
 //	GET    /jobs            list jobs (without reports)
-//	GET    /jobs/{id}       job status; report attached once done
+//	GET    /jobs/{id}       job status; partial report while running, report once done
+//	GET    /jobs/{id}/stream NDJSON stream of per-level progress events
 //	DELETE /jobs/{id}       cancel the job
 //	GET    /healthz         liveness probe
 //	GET    /stats           service counters
@@ -42,6 +43,7 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /jobs", h.postJob)
 	mux.HandleFunc("GET /jobs", h.listJobs)
 	mux.HandleFunc("GET /jobs/{id}", h.getJob)
+	mux.HandleFunc("GET /jobs/{id}/stream", h.streamJob)
 	mux.HandleFunc("DELETE /jobs/{id}", h.deleteJob)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /stats", h.stats)
@@ -169,6 +171,57 @@ func (h *handler) getJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// streamJob serves GET /jobs/{id}/stream: an NDJSON stream (one JSON object
+// per line, application/x-ndjson) of "level" events — each carrying the
+// cumulative partial report of the levels completed so far — terminated by a
+// single "done" event with the job's final state. The stream ends cleanly on
+// job completion, job cancellation (state "canceled"), and client disconnect
+// (the subscription is dropped; the job itself keeps running). Terminal jobs
+// yield just the "done" event, so the endpoint doubles as a blocking "wait
+// for this job" primitive.
+func (h *handler) streamJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, cancel, err := h.svc.Stream(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // no indent: one event per line
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				// Terminal: emit the authoritative final state. The job can
+				// only have been pruned from history mid-stream in a pathological
+				// config; surface that as an error event rather than silence.
+				final := StreamEvent{Type: "done", JobID: id}
+				if view, err := h.svc.Job(id); err == nil {
+					final.State = view.State
+					final.Report = view.Report
+					final.Error = view.Error
+				} else {
+					final.Error = err.Error()
+				}
+				_ = enc.Encode(final)
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return // client gone; cancel() drops the subscription
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return // client disconnected mid-stream
+		}
+	}
 }
 
 func (h *handler) deleteJob(w http.ResponseWriter, r *http.Request) {

@@ -56,6 +56,11 @@ type Job struct {
 	key       string
 	ctx       context.Context
 	cancel    context.CancelFunc
+	// seq is the admission sequence number — the priority queue's tie-break,
+	// so equal-cost jobs stay FIFO. heapIdx is maintained by jobHeap while
+	// the job is queued (-1 otherwise).
+	seq     uint64
+	heapIdx int
 
 	mu       sync.Mutex
 	state    JobState
@@ -66,6 +71,15 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// cost is the scheduler's work estimate: rows × cols × levels at
+	// submission, refined down to the remaining work by each level snapshot
+	// while running (it is never read by the queue after the job leaves it).
+	cost int64
+	// partial and progress hold the latest level snapshot of a running job;
+	// subs are the live stream subscribers (see stream.go).
+	partial  *aod.Report
+	progress *aod.Progress
+	subs     []chan StreamEvent
 }
 
 // JobView is the JSON-serializable snapshot of a job.
@@ -79,12 +93,22 @@ type JobView struct {
 	State   JobState    `json:"state"`
 	// CacheHit marks a job served from the result cache or an identical
 	// in-flight run, without a validation run of its own.
-	CacheHit   bool        `json:"cacheHit"`
-	Error      string      `json:"error,omitempty"`
-	CreatedAt  time.Time   `json:"createdAt"`
-	StartedAt  *time.Time  `json:"startedAt,omitempty"`
-	FinishedAt *time.Time  `json:"finishedAt,omitempty"`
-	Report     *aod.Report `json:"report,omitempty"`
+	CacheHit   bool       `json:"cacheHit"`
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"createdAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+	// CostEstimate is the scheduler's current work estimate (rows × cols ×
+	// levels still to explore): the submission estimate while queued, shrinking
+	// per completed level while running, 0 once terminal.
+	CostEstimate int64 `json:"costEstimate,omitempty"`
+	// Progress and Partial expose the latest completed-level snapshot of a
+	// running job: Partial is a coherent report of every dependency found in
+	// the levels processed so far. Both are nil before the first level
+	// completes and on terminal jobs (whose Report is authoritative).
+	Progress *aod.Progress `json:"progress,omitempty"`
+	Partial  *aod.Report   `json:"partial,omitempty"`
+	Report   *aod.Report   `json:"report,omitempty"`
 }
 
 // view snapshots the job; the report is attached only when requested (job
@@ -111,10 +135,22 @@ func (j *Job) view(includeReport bool) JobView {
 		t := j.finished
 		v.FinishedAt = &t
 	}
+	if !j.state.Terminal() {
+		v.CostEstimate = j.cost
+	}
 	if includeReport && j.state == JobDone {
 		v.Report = j.report
 	}
+	if includeReport && j.state == JobRunning {
+		v.Progress = j.progress
+		v.Partial = j.partial
+	}
 	return v
+}
+
+// errNoJobf wraps ErrNoJob with the offending id.
+func errNoJobf(id string) error {
+	return fmt.Errorf("%w: %q", ErrNoJob, id)
 }
 
 // Submit queues a discovery job for the registered dataset and returns its
@@ -151,8 +187,12 @@ func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
 		key:       cacheKey(info.Fingerprint, opts),
 		ctx:       ctx,
 		cancel:    cancel,
+		heapIdx:   -1,
 		state:     JobQueued,
 		created:   time.Now().UTC(),
+		// The scheduler's size estimate: small jobs overtake large ones in
+		// the priority queue from the moment they are admitted.
+		cost: aod.EstimateWork(info.Rows, info.Cols, opts.MaxLevel),
 	}
 
 	s.mu.Lock()
@@ -161,14 +201,15 @@ func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
 		cancel()
 		return JobView{}, ErrClosed
 	}
-	if s.cfg.QueueDepth > 0 && len(s.pending) >= s.cfg.QueueDepth {
+	if s.cfg.QueueDepth > 0 && s.pending.Len() >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		cancel()
 		return JobView{}, ErrQueueFull
 	}
 	s.nextID++
 	j.id = fmt.Sprintf("job-%d", s.nextID)
-	s.pending = append(s.pending, j)
+	j.seq = s.nextID
+	s.pending.push(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.pruneHistoryLocked()
@@ -218,7 +259,7 @@ func (s *Service) Job(id string) (JobView, error) {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return JobView{}, fmt.Errorf("%w: %q", ErrNoJob, id)
+		return JobView{}, errNoJobf(id)
 	}
 	return j.view(true), nil
 }
@@ -247,7 +288,7 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return JobView{}, fmt.Errorf("%w: %q", ErrNoJob, id)
+		return JobView{}, errNoJobf(id)
 	}
 	j.mu.Lock()
 	switch {
@@ -257,24 +298,21 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	case j.state == JobQueued:
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
+		j.closeSubsLocked()
 		s.jobsCanceled.Add(1)
 		j.mu.Unlock()
 		// Remove the job from the pending queue immediately so canceled
 		// jobs free their slot (and stop exerting backpressure) without
 		// waiting for a worker to drain them.
 		s.mu.Lock()
-		for i, p := range s.pending {
-			if p == j {
-				s.pending = append(s.pending[:i], s.pending[i+1:]...)
-				break
-			}
-		}
+		s.pending.remove(j)
 		s.mu.Unlock()
 	case j.waiting:
 		// Parked on an in-flight run with no worker attached: finalize here;
 		// the flight leader skips already-terminal waiters when settling.
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
+		j.closeSubsLocked()
 		s.jobsCanceled.Add(1)
 		j.mu.Unlock()
 	default:
@@ -284,21 +322,20 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	return j.view(false), nil
 }
 
-// worker drains the pending queue until Close empties it.
+// worker drains the pending queue — cheapest job first — until Close
+// empties it.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.pending) == 0 && !s.closed {
+		for s.pending.Len() == 0 && !s.closed {
 			s.notEmpty.Wait()
 		}
-		if len(s.pending) == 0 { // closed and drained
-			s.mu.Unlock()
+		j := s.pending.pop()
+		s.mu.Unlock()
+		if j == nil { // closed and drained
 			return
 		}
-		j := s.pending[0]
-		s.pending = s.pending[1:]
-		s.mu.Unlock()
 		s.runJob(j)
 	}
 }
@@ -345,6 +382,7 @@ func (s *Service) runJob(j *Job) {
 		j.cacheHit = fromCache
 		s.jobsDone.Add(1)
 	}
+	j.closeSubsLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 }
@@ -430,12 +468,21 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	return rep, false, err
 }
 
-// validate runs discovery for the job, updating the run counters and
+// validate runs discovery for the job — publishing a partial report and a
+// progress event at every level boundary — updating the run counters and
 // publishing complete results to the cache.
 func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 	s.cacheMisses.Add(1)
 	s.validationRuns.Add(1)
-	rep, err := aod.DiscoverContext(j.ctx, ds, j.opts)
+	if gate := s.cfg.runGate; gate != nil {
+		gate(j)
+	}
+	rep, err := aod.DiscoverStreamContext(j.ctx, ds, j.opts, func(p aod.Progress, partial *aod.Report) {
+		j.publishProgress(p, partial)
+		if hook := s.cfg.levelHook; hook != nil {
+			hook(j)
+		}
+	})
 	if err == nil && !rep.Stats.Canceled && !rep.Stats.TimedOut {
 		s.validationNs.Add(int64(rep.Stats.ValidationTime))
 		s.discoveryNs.Add(int64(rep.Stats.TotalTime))
@@ -461,6 +508,7 @@ func (s *Service) settleWaiter(w *Job, f *flight) {
 	if w.ctx.Err() != nil {
 		w.state = JobCanceled
 		w.finished = time.Now().UTC()
+		w.closeSubsLocked()
 		w.mu.Unlock()
 		s.jobsCanceled.Add(1)
 		return
@@ -474,13 +522,14 @@ func (s *Service) settleWaiter(w *Job, f *flight) {
 			w.mu.Lock()
 			w.state = JobCanceled
 			w.finished = time.Now().UTC()
+			w.closeSubsLocked()
 			w.mu.Unlock()
 			s.jobsCanceled.Add(1)
 			return
 		}
-		// Head of the queue: the waiter was admitted before anything now
-		// pending.
-		s.pending = append([]*Job{w}, s.pending...)
+		// Requeued with its original admission seq and cost: among equal-cost
+		// jobs the waiter still precedes everything admitted after it.
+		s.pending.push(w)
 		s.notEmpty.Signal()
 		s.mu.Unlock()
 		return
@@ -490,12 +539,14 @@ func (s *Service) settleWaiter(w *Job, f *flight) {
 		// Deterministic config error — identical for any job with this key.
 		w.state = JobFailed
 		w.err = f.err
+		w.closeSubsLocked()
 		w.mu.Unlock()
 		s.jobsFailed.Add(1)
 	} else {
 		w.state = JobDone
 		w.report = f.rep
 		w.cacheHit = true
+		w.closeSubsLocked()
 		w.mu.Unlock()
 		s.jobsDone.Add(1)
 		s.cacheHits.Add(1)

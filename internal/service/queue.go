@@ -1,0 +1,77 @@
+package service
+
+import "container/heap"
+
+// jobQueue is the pending-job priority queue: jobs waiting for a worker are
+// ordered by estimated cost (rows × cols × levels to explore, see
+// aod.EstimateWork), smallest first, with submission order breaking ties.
+// This is the size-aware scheduling the FIFO queue lacked: a cheap
+// interactive probe no longer waits behind a multi-minute wide-table crawl
+// submitted moments earlier. The flip side — a steady stream of small jobs
+// can delay a large one indefinitely — is the intended trade for a service
+// whose large jobs are batch work; the submission-order tie-break at least
+// keeps equal-cost jobs strictly fair.
+//
+// Not safe for concurrent use; the Service serializes access under its mutex.
+type jobQueue struct {
+	h jobHeap
+}
+
+func (q *jobQueue) Len() int { return len(q.h) }
+
+// push admits the job. Its cost and seq must already be set.
+func (q *jobQueue) push(j *Job) { heap.Push(&q.h, j) }
+
+// pop removes and returns the cheapest job, or nil when empty.
+func (q *jobQueue) pop() *Job {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Job)
+}
+
+// remove takes the job out of the queue (e.g. on cancellation); it reports
+// whether the job was queued.
+func (q *jobQueue) remove(j *Job) bool {
+	if j.heapIdx < 0 || j.heapIdx >= len(q.h) || q.h[j.heapIdx] != j {
+		return false
+	}
+	heap.Remove(&q.h, j.heapIdx)
+	return true
+}
+
+// jobHeap implements container/heap. Job.cost is stable while the job is
+// queued (it is only refined by level snapshots, which require the job to be
+// running), so the ordering invariant cannot rot in place.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
+}

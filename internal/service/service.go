@@ -40,6 +40,13 @@ type Config struct {
 	// startup, and evicted/cold state reloads lazily on use. Nil preserves
 	// the purely in-memory behavior.
 	Store *store.Store
+
+	// Test seams (same-package tests only): runGate runs when a worker picks
+	// the job up, before discovery starts; levelHook runs after each level
+	// snapshot is published. Both may block — that is their point: they make
+	// scheduling order and streaming pace deterministic under test.
+	runGate   func(*Job)
+	levelHook func(*Job)
 }
 
 func (c Config) withDefaults() Config {
@@ -87,11 +94,14 @@ type Service struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond // signaled when pending gains a job or on Close
 	closed   bool
-	jobs     map[string]*Job
-	order    []string // submission order, for stable listings
-	pending  []*Job   // FIFO of jobs waiting for a worker (bounded by QueueDepth)
-	flights  map[string]*flight
-	nextID   uint64
+	jobs    map[string]*Job
+	order   []string // submission order, for stable listings
+	// pending holds jobs waiting for a worker (bounded by QueueDepth),
+	// ordered by estimated cost so small jobs are not starved by large ones
+	// submitted ahead of them (see jobQueue).
+	pending jobQueue
+	flights map[string]*flight
+	nextID  uint64
 
 	wg sync.WaitGroup
 
@@ -179,9 +189,11 @@ type Stats struct {
 	// Persistent reports whether a Store backs the service. Quarantined and
 	// PersistErrors are its health counters: corrupt files moved aside, and
 	// report write-throughs that failed (all zero without a Store).
-	Persistent     bool          `json:"persistent"`
-	Quarantined    uint64        `json:"quarantined"`
-	PersistErrors  uint64        `json:"persistErrors"`
+	// ReportEvictions counts report files deleted by the disk-budget GC.
+	Persistent      bool   `json:"persistent"`
+	Quarantined     uint64 `json:"quarantined"`
+	PersistErrors   uint64 `json:"persistErrors"`
+	ReportEvictions uint64 `json:"reportEvictions,omitempty"`
 	ValidationRuns uint64        `json:"validationRuns"`
 	ValidationTime time.Duration `json:"validationTimeNs"`
 	DiscoveryTime  time.Duration `json:"discoveryTimeNs"`
@@ -194,7 +206,7 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	size, capacity, evictions := s.cache.stats()
 	s.mu.Lock()
-	queued := len(s.pending)
+	queued := s.pending.Len()
 	s.mu.Unlock()
 	st := Stats{
 		Datasets:         s.registry.Len(),
@@ -223,6 +235,7 @@ func (s *Service) Stats() Stats {
 	if s.cfg.Store != nil {
 		st.Persistent = true
 		st.Quarantined = s.cfg.Store.Quarantined()
+		st.ReportEvictions = s.cfg.Store.ReportsEvicted()
 	}
 	return st
 }

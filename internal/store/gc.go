@@ -1,0 +1,94 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SetMaxReportBytes bounds the report store's disk tier: whenever a report
+// write pushes the total size of the reports directory past the budget, the
+// least recently used report files are deleted until it fits again (the
+// just-written report is always spared, even when it alone exceeds the
+// budget — availability of the newest result wins over strict accounting).
+// Recency is file mtime: reads touch it, so a report that keeps getting
+// served keeps surviving. n <= 0 restores the default unbounded behavior.
+//
+// Eviction deletes — unlike quarantine, which preserves evidence of
+// corruption — because an evicted report is not suspect, merely cold: the
+// service recomputes it on the next miss.
+func (s *Store) SetMaxReportBytes(n int64) {
+	s.gcMu.Lock()
+	s.maxReportBytes = n
+	s.gcMu.Unlock()
+}
+
+// ReportsEvicted returns the number of report files deleted by the GC since
+// this Store was opened.
+func (s *Store) ReportsEvicted() uint64 { return s.reportsEvicted.Load() }
+
+// touchReport freshens the file's mtime so the GC sees it as recently used.
+// Best-effort: a failed touch only weakens the LRU order, never a read.
+func (s *Store) touchReport(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// gcReports enforces the report budget, sparing keep (the file just
+// written). It scans the reports directory on every triggering write: report
+// counts are bounded by the budget itself, and one readdir per completed
+// discovery job is noise next to the job. Caller must not hold gcMu.
+func (s *Store) gcReports(keep string) {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	budget := s.maxReportBytes
+	if budget <= 0 {
+		return
+	}
+	dir := s.path(reportsDir)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type reportFile struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []reportFile
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // raced with another deletion
+		}
+		files = append(files, reportFile{name: e.Name(), size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	}
+	if total <= budget {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].name < files[j].name // determinism under coarse mtimes
+	})
+	for _, f := range files {
+		if total <= budget {
+			return
+		}
+		if f.name == keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, f.name)); err != nil {
+			continue // already gone (concurrent GC): its size no longer counts
+		}
+		total -= f.size
+		s.reportsEvicted.Add(1)
+	}
+}

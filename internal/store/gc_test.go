@@ -1,0 +1,176 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"aod"
+)
+
+// gcReport builds a report with enough payload that file sizes dominate the
+// envelope overhead.
+func gcReport(tag string) *aod.Report {
+	rep := &aod.Report{Stats: aod.Stats{Rows: 9, Attrs: 3}}
+	for i := 0; i < 40; i++ {
+		rep.OCs = append(rep.OCs, aod.OC{
+			Context: []string{tag},
+			A:       fmt.Sprintf("%s-a%03d", tag, i),
+			B:       fmt.Sprintf("%s-b%03d", tag, i),
+		})
+	}
+	return rep
+}
+
+// reportDirSize sums the reports directory.
+func reportDirSize(t *testing.T, s *Store) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(s.path(reportsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// backdate pushes a report's mtime into the past so LRU order is
+// deterministic regardless of filesystem timestamp granularity.
+func backdate(t *testing.T, s *Store, key string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.reportPath(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReportGCEvictsLRUPastBudget: writes past the budget evict the least
+// recently used reports, never the newest, and the directory lands under
+// budget.
+func TestReportGCEvictsLRUPastBudget(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size one report, then budget for roughly three.
+	if err := s.PutReport("probe", gcReport("probe")); err != nil {
+		t.Fatal(err)
+	}
+	one := reportDirSize(t, s)
+	os.Remove(s.reportPath("probe"))
+	budget := 3*one + one/2
+	s.SetMaxReportBytes(budget)
+
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := s.PutReport(key, gcReport(key)); err != nil {
+			t.Fatal(err)
+		}
+		// Strictly increasing recency: key-0 oldest, each later key fresher.
+		backdate(t, s, key, time.Duration(6-i)*time.Hour)
+	}
+	// One more write triggers the sweep with a deterministic LRU order.
+	if err := s.PutReport("key-6", gcReport("key-6")); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reportDirSize(t, s); got > budget {
+		t.Errorf("reports dir holds %d bytes, budget %d", got, budget)
+	}
+	if s.ReportsEvicted() == 0 {
+		t.Error("no evictions counted")
+	}
+	if _, ok := s.GetReport("key-6"); !ok {
+		t.Error("newest report was evicted")
+	}
+	if _, ok := s.GetReport("key-0"); ok {
+		t.Error("oldest report survived a 2x-over-budget sweep")
+	}
+}
+
+// TestReportGCReadRefreshesRecency: a report that keeps being read outlives
+// colder ones written after it.
+func TestReportGCReadRefreshesRecency(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutReport("probe", gcReport("probe")); err != nil {
+		t.Fatal(err)
+	}
+	one := reportDirSize(t, s)
+	os.Remove(s.reportPath("probe"))
+	s.SetMaxReportBytes(2*one + one/2)
+
+	for _, key := range []string{"hot", "cold"} {
+		if err := s.PutReport(key, gcReport(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backdate(t, s, "hot", 2*time.Hour)
+	backdate(t, s, "cold", 1*time.Hour)
+	// Reading "hot" must move it ahead of "cold" in LRU order.
+	if _, ok := s.GetReport("hot"); !ok {
+		t.Fatal("hot report unreadable")
+	}
+	if err := s.PutReport("new", gcReport("new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetReport("hot"); !ok {
+		t.Error("recently read report was evicted")
+	}
+	if _, ok := s.GetReport("cold"); ok {
+		t.Error("cold report survived over the recently read one")
+	}
+}
+
+// TestReportGCUnboundedByDefault: without a budget nothing is ever evicted,
+// and the newest report survives even a budget smaller than itself.
+func TestReportGCUnboundedByDefault(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := s.PutReport(key, gcReport(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ReportsEvicted() != 0 {
+		t.Error("unbounded store evicted reports")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := s.GetReport(fmt.Sprintf("key-%d", i)); !ok {
+			t.Errorf("key-%d missing from unbounded store", i)
+		}
+	}
+
+	// A budget below a single report's size still keeps the newest.
+	s.SetMaxReportBytes(1)
+	if err := s.PutReport("tiny-budget", gcReport("tiny-budget")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetReport("tiny-budget"); !ok {
+		t.Error("just-written report evicted by its own sweep")
+	}
+	ents, err := os.ReadDir(s.path(reportsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("%d reports survive a 1-byte budget, want just the newest", len(ents))
+	}
+	// Eviction deletes; nothing may pile up in quarantine.
+	q, err := os.ReadDir(s.path(quarantineDir))
+	if err == nil && len(q) != 0 {
+		t.Errorf("%d files in quarantine after GC; eviction must delete, not quarantine", len(q))
+	}
+}

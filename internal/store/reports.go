@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 
 	"aod"
 )
@@ -26,15 +27,19 @@ func (s *Store) reportPath(key string) string {
 }
 
 // PutReport persists the completed report under its cache key, atomically
-// replacing any previous file for the key.
+// replacing any previous file for the key. When a report-bytes budget is set
+// (SetMaxReportBytes), the write is followed by an LRU sweep of the reports
+// directory so the disk tier stays bounded.
 func (s *Store) PutReport(key string, rep *aod.Report) error {
 	data, err := json.Marshal(reportEnvelope{Key: key, Report: rep})
 	if err != nil {
 		return fmt.Errorf("store: encoding report: %w", err)
 	}
-	if err := s.writeFileAtomic(s.reportPath(key), data); err != nil {
+	path := s.reportPath(key)
+	if err := s.writeFileAtomic(path, data); err != nil {
 		return fmt.Errorf("store: writing report: %w", err)
 	}
+	s.gcReports(filepath.Base(path))
 	return nil
 }
 
@@ -53,5 +58,8 @@ func (s *Store) GetReport(key string) (*aod.Report, bool) {
 		s.quarantine(path)
 		return nil, false
 	}
+	// A served report is a hot report: freshen its LRU standing so the GC
+	// evicts cold results first.
+	s.touchReport(path)
 	return env.Report, true
 }

@@ -57,6 +57,12 @@ type Store struct {
 	mu       sync.Mutex
 	manifest manifestFile
 
+	// gcMu serializes report-store GC scans; maxReportBytes <= 0 disables
+	// the GC (see SetMaxReportBytes).
+	gcMu           sync.Mutex
+	maxReportBytes int64
+	reportsEvicted atomic.Uint64
+
 	quarantined atomic.Uint64
 	recovered   int // datasets re-indexed by the manifest recovery scan
 }

@@ -209,3 +209,25 @@ func TestValidatorAllocFree(t *testing.T) {
 		t.Errorf("ApproxOFD allocates %.1f times per call in steady state, want 0", n)
 	}
 }
+
+// TestIterativeValidatorAllocFree pins the iterative (paper-baseline)
+// validator's steady state: the per-class swap-count buffers, Fenwick tree,
+// and liveness markers all live in Validator scratch now, so a warm
+// validator must not allocate — on the one-big-class shape and on a
+// many-classes partition (the shape discovery actually feeds it).
+func TestIterativeValidatorAllocFree(t *testing.T) {
+	tbl := gen.CorrelatedPair(20_000, 0.10, 42)
+	ca, cb := tbl.Column(0), tbl.Column(1)
+	for name, ctx := range map[string]*partition.Stripped{
+		"universe": partition.Universe(20_000),
+		"classes":  partition.Single(ca),
+	} {
+		v := New()
+		v.IterativeAOC(ctx, ca, cb, Options{Threshold: 0.10}) // warm
+		if n := testing.AllocsPerRun(10, func() {
+			v.IterativeAOC(ctx, ca, cb, Options{Threshold: 0.10})
+		}); n != 0 {
+			t.Errorf("IterativeAOC/%s allocates %.1f times per call in steady state, want 0", name, n)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package validate
 
 import (
 	"aod/internal/dataset"
-	"aod/internal/lis"
 	"aod/internal/partition"
 )
 
@@ -36,8 +35,11 @@ func (v *Validator) IterativeAOC(ctx *partition.Stripped, a, b *dataset.Column, 
 		cls := ctx.Class(ci)
 		v.sortClass(cls, ra, rb, false, 0)
 		m := len(cls)
-		cnt, _ := lis.InversionCounts(v.b, maxRank)
-		alive := make([]bool, m)
+		cnt, _ := v.inv.Counts(v.b, maxRank)
+		if cap(v.alive) < m {
+			v.alive = make([]bool, m)
+		}
+		alive := v.alive[:m]
 		for i := range alive {
 			alive[i] = true
 		}

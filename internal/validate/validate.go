@@ -92,6 +92,10 @@ type Validator struct {
 	freq      []int32
 	scan      scanScratch
 	lnds      lis.Scratch
+	// inv and alive are the iterative validator's per-class scratch: swap
+	// counts (Fenwick-backed) and the greedy removal's liveness markers.
+	inv   lis.InvScratch
+	alive []bool
 }
 
 // New returns a Validator with empty scratch space.
