@@ -6,9 +6,18 @@
 //
 // Usage:
 //
-//	aodserver [-addr :8711] [-workers N] [-queue N] [-cache N]
-//	          [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
-//	          [-data-dir DIR] [-max-report-bytes N]
+//	aodserver [-addr :8711] [-workers N | -workers host:port,...] [-queue N]
+//	          [-cache N] [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
+//	          [-data-dir DIR] [-max-report-bytes N] [-max-queue-wait D]
+//	          [-straggler-after D]
+//
+// -workers accepts either an integer (local discovery worker-pool size, the
+// default GOMAXPROCS) or a comma-separated list of aodworker addresses: then
+// each job's lattice levels are sliced across those worker processes
+// (datasets ship to each worker once, cached by content fingerprint), with
+// per-shard timeouts, straggler re-dispatch, and local fallback — a dead
+// worker slows jobs down instead of failing them. Per-worker health and
+// assignment counts appear in GET /stats under "shards".
 //
 // With -data-dir the server is durable: uploaded datasets and completed
 // reports are written through to DIR (atomic write-then-rename, corrupt
@@ -48,16 +57,19 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"aod"
 	"aod/internal/service"
 	"aod/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8711", "listen address (host:port; port 0 picks an ephemeral port)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "discovery worker-pool size")
+	workersFlag := flag.String("workers", "", "an integer sizes the local discovery worker pool (default GOMAXPROCS); a comma-separated host:port list instead slices jobs across those aodworker processes")
 	queue := flag.Int("queue", 64, "job queue depth (backpressure bound; negative = unbounded)")
 	cacheSize := flag.Int("cache", 128, "result-cache capacity in reports (negative disables)")
 	maxDatasets := flag.Int("max-datasets", 256, "dataset registry bound (negative = unbounded)")
@@ -65,7 +77,38 @@ func main() {
 	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "maximum CSV upload size in bytes")
 	dataDir := flag.String("data-dir", "", "persist datasets and reports under this directory (empty = in-memory only)")
 	maxReportBytes := flag.Int64("max-report-bytes", 0, "report-store disk budget in bytes; least recently used reports are evicted past it (0 = unbounded; needs -data-dir)")
+	straggler := flag.Duration("straggler-after", 15*time.Second, "re-dispatch a shard slice not answered after this long (sharded mode; negative disables)")
+	maxQueueWait := flag.Duration("max-queue-wait", time.Minute, "age bound for cost-ordered scheduling: a job queued this long runs next regardless of size (negative disables)")
 	flag.Parse()
+
+	// -workers is polymorphic: "-workers 4" sizes the local pool (the
+	// historical meaning), "-workers host:a,host:b" shards across aodworker
+	// processes instead.
+	workers := runtime.GOMAXPROCS(0)
+	var shardAddrs []string
+	if *workersFlag != "" {
+		if n, err := strconv.Atoi(*workersFlag); err == nil {
+			workers = n
+		} else {
+			for _, a := range strings.Split(*workersFlag, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					continue
+				}
+				// Reject early rather than starting a server that silently
+				// fails every dial (e.g. a typo'd pool size like "1O").
+				if _, _, err := net.SplitHostPort(a); err != nil {
+					fmt.Fprintf(os.Stderr, "aodserver: -workers %q is neither a pool size nor a host:port list (%v)\n", *workersFlag, err)
+					os.Exit(2)
+				}
+				shardAddrs = append(shardAddrs, a)
+			}
+			if len(shardAddrs) == 0 {
+				fmt.Fprintf(os.Stderr, "aodserver: -workers %q is neither a pool size nor an address list\n", *workersFlag)
+				os.Exit(2)
+			}
+		}
+	}
 
 	var st *store.Store
 	if *dataDir != "" {
@@ -79,13 +122,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aodserver: -max-report-bytes requires -data-dir")
 		os.Exit(2)
 	}
+	var pool *aod.ShardPool
+	if len(shardAddrs) > 0 {
+		pool = aod.DialShardPool(shardAddrs, aod.ShardPoolOptions{
+			StragglerAfter: *straggler,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "aodserver: "+format+"\n", args...)
+			},
+		})
+		defer pool.Close()
+	}
 	svc := service.New(service.Config{
-		Workers:       *workers,
+		Workers:       workers,
 		QueueDepth:    *queue,
 		CacheSize:     *cacheSize,
 		MaxDatasets:   *maxDatasets,
 		MaxJobHistory: *maxJobs,
+		MaxQueueWait:  *maxQueueWait,
 		Store:         st,
+		ShardPool:     pool,
 	})
 	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
 
@@ -96,10 +151,14 @@ func main() {
 	}
 	// The resolved address matters when port 0 was requested.
 	fmt.Printf("aodserver listening on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), *workers, *queue, *cacheSize)
+		ln.Addr(), workers, *queue, *cacheSize)
 	if st != nil {
 		fmt.Printf("aodserver persisting to %s (%d datasets recovered)\n",
 			st.Dir(), len(st.Datasets()))
+	}
+	if pool != nil {
+		fmt.Printf("aodserver sharding across %d workers: %s\n",
+			len(shardAddrs), strings.Join(shardAddrs, ", "))
 	}
 
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}

@@ -1,0 +1,60 @@
+// Command aodworker is a shard worker for distributed AOD discovery: an
+// aodserver started with -workers dials it per job, ships each dataset at
+// most once (workers cache datasets — table plus single-column partitions —
+// by content fingerprint), and streams it lattice-level task slices to
+// validate. Workers are stateless beyond their cache: killing one mid-job
+// only re-routes its slices; adding one is just listing its address in the
+// server's -workers flag.
+//
+// Usage:
+//
+//	aodworker [-addr :8712] [-max-datasets N] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aod/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8712", "listen address (host:port; port 0 picks an ephemeral port)")
+	maxDatasets := flag.Int("max-datasets", 16, "prepared-dataset cache bound (least recently used evicted; negative = unbounded)")
+	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	flag.Parse()
+
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if *quiet {
+		logf = nil
+	}
+	w := shard.NewWorker(shard.WorkerOptions{MaxDatasets: *maxDatasets, Logf: logf})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodworker:", err)
+		os.Exit(1)
+	}
+	// The resolved address matters when port 0 was requested.
+	fmt.Printf("aodworker listening on %s (dataset cache %d)\n", ln.Addr(), *maxDatasets)
+
+	done := make(chan error, 1)
+	go func() { done <- w.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("aodworker: %s — shutting down (%d tasks served)\n", s, w.TasksRun())
+		ln.Close()
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aodworker:", err)
+			os.Exit(1)
+		}
+	}
+}

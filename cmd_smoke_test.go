@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -349,5 +350,188 @@ func TestAODServerCrashRecoverySmoke(t *testing.T) {
 	httpJSON(base2, "GET", "/stats", "", &stats)
 	if !stats.Persistent || stats.ValidationRuns != 0 || stats.CacheDiskHits != 1 {
 		t.Errorf("post-crash stats = %+v, want persistent, 0 validation runs, 1 disk hit", stats)
+	}
+}
+
+// startAODWorker launches the aodworker binary on an ephemeral port and
+// returns its address plus the process (for SIGKILL crash-testing).
+func startAODWorker(t *testing.T, bin string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatal("aodworker produced no output")
+	}
+	line := scanner.Text()
+	fields := strings.Fields(line) // aodworker listening on HOST:PORT (...)
+	if len(fields) < 4 || fields[1] != "listening" {
+		t.Fatalf("unexpected aodworker startup line: %q", line)
+	}
+	go io.Copy(io.Discard, stdout)
+	return fields[3], cmd
+}
+
+// TestShardedWorkersBinaryE2E boots two real aodworker processes and an
+// aodserver sharding across them, SIGKILLs one worker while a job is in
+// flight, and verifies every job still completes with a report identical to
+// local discovery — the end-to-end degradation contract of the distributed
+// path.
+func TestShardedWorkersBinaryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("uses SIGKILL")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	serverBin := buildAODServer(t, dir)
+	workerBin := filepath.Join(dir, "aodworker")
+	if msg, err := exec.Command(goBin, "build", "-o", workerBin, "./cmd/aodworker").CombinedOutput(); err != nil {
+		t.Fatalf("building aodworker: %v\n%s", err, msg)
+	}
+
+	addr1, _ := startAODWorker(t, workerBin)
+	addr2, wcmd2 := startAODWorker(t, workerBin)
+	base, _ := startAODServer(t, serverBin, "-workers", addr1+","+addr2)
+
+	// A multi-level dataset large enough that the kill below lands mid-job.
+	ds := Flight(4000, 8, 17)
+	var csv strings.Builder
+	if err := ds.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	// Local ground truth per threshold, marshaled through Report so the
+	// same JSON normalization applies on both sides.
+	wantOCs := func(threshold float64) any {
+		t.Helper()
+		rep, err := Discover(ds, Options{Threshold: threshold, IncludeOFDs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m["ocs"]
+	}
+
+	httpJSON := func(method, path, body string, out any) int {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("%s %s: decoding: %v", method, path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	pollDone := func(jobID string) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			var job map[string]any
+			httpJSON("GET", "/jobs/"+jobID, "", &job)
+			switch job["state"] {
+			case "done":
+				return job
+			case "failed", "canceled":
+				t.Fatalf("job %s: %v", jobID, job)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("job %s never finished", jobID)
+		return nil
+	}
+	checkReport := func(job map[string]any, threshold float64, label string) {
+		t.Helper()
+		rep, _ := job["report"].(map[string]any)
+		if rep == nil {
+			t.Fatalf("%s: job has no report: %v", label, job)
+		}
+		if !reflect.DeepEqual(wantOCs(threshold), rep["ocs"]) {
+			t.Errorf("%s: sharded report OCs differ from local discovery", label)
+		}
+	}
+
+	var info struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON("POST", "/datasets?name=sharded", csv.String(), &info); code != 201 {
+		t.Fatalf("upload status %d, want 201", code)
+	}
+	submit := func(threshold float64) string {
+		t.Helper()
+		var job struct {
+			ID string `json:"id"`
+		}
+		body := fmt.Sprintf(`{"datasetId": %q, "options": {"threshold": %g, "includeOFDs": true}}`, info.ID, threshold)
+		if code := httpJSON("POST", "/jobs", body, &job); code != 202 {
+			t.Fatalf("submit status %d, want 202", code)
+		}
+		return job.ID
+	}
+
+	// Job 1: SIGKILL one worker while it runs. The session re-dispatches the
+	// dead worker's slices (or the server falls back locally); the job must
+	// complete with the exact local result.
+	job1 := submit(0.10)
+	if err := wcmd2.Process.Kill(); err != nil { // SIGKILL: no goodbye frame
+		t.Fatal(err)
+	}
+	wcmd2.Wait()
+	checkReport(pollDone(job1), 0.10, "mid-kill job")
+
+	// Job 2: submitted after the kill — the dead worker costs one failed
+	// dial, the survivor carries the job.
+	checkReport(pollDone(submit(0.11)), 0.11, "post-kill job")
+
+	var stats struct {
+		Shards []struct {
+			Addr          string `json:"addr"`
+			AssignedTasks uint64 `json:"assignedTasks"`
+			Failures      uint64 `json:"failures"`
+		} `json:"shards"`
+	}
+	httpJSON("GET", "/stats", "", &stats)
+	if len(stats.Shards) != 2 {
+		t.Fatalf("/stats shards = %+v, want 2 workers", stats.Shards)
+	}
+	var assigned, failures uint64
+	for _, s := range stats.Shards {
+		assigned += s.AssignedTasks
+		failures += s.Failures
+	}
+	if assigned == 0 {
+		t.Error("no tasks assigned to shard workers")
+	}
+	if failures == 0 {
+		t.Error("the SIGKILLed worker's failures never surfaced in /stats")
 	}
 }

@@ -313,11 +313,19 @@ func DiscoverStream(d *Dataset, opts Options, onLevel ProgressFunc) (*Report, er
 // DiscoverContext is exactly that. The last event before return has
 // Progress.Final set.
 func DiscoverStreamContext(ctx context.Context, d *Dataset, opts Options, onLevel ProgressFunc) (*Report, error) {
-	cfg := opts.config()
-	pipe := core.Pipeline{}
+	var exec core.Executor
 	if opts.Parallelism > 1 {
-		pipe.Executor = core.Pool(opts.Parallelism)
+		exec = core.Pool(opts.Parallelism)
 	}
+	return discoverStreamExec(ctx, d, opts, exec, onLevel)
+}
+
+// discoverStreamExec is the shared discovery entry point under an explicit
+// executor (nil = serial): the seam DiscoverStreamContext (serial/pool) and
+// DiscoverShardedStreamContext (shard pool) both run through.
+func discoverStreamExec(ctx context.Context, d *Dataset, opts Options, exec core.Executor, onLevel ProgressFunc) (*Report, error) {
+	cfg := opts.config()
+	pipe := core.Pipeline{Executor: exec}
 	names := d.ColumnNames()
 	if onLevel != nil {
 		pipe.Sink = func(s core.Snapshot) {

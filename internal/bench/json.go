@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"aod/internal/core"
 	"aod/internal/gen"
 	"aod/internal/partition"
+	"aod/internal/shard"
 	"aod/internal/validate"
 )
 
@@ -123,6 +125,32 @@ func jsonWorkloads(seed int64) []struct {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Discover(ncv5k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"discover-pool/n=5000,attrs=10", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DiscoverParallel(ncv5k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"discover-sharded-loopback/n=5000,attrs=10", func(b *testing.B) {
+			// The distributed path over in-process workers: full wire
+			// protocol (handshake, JSON task/result frames) without network
+			// latency — the protocol-overhead trajectory vs discover-pool.
+			// The cluster persists across iterations like a real pool, so
+			// the dataset ships and cold-partitions once.
+			cluster := shard.Loopback(4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Pipeline{Executor: core.Sharded(cluster)}.Run(context.Background(), ncv5k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.OCsFound() == 0 {
+					b.Fatal("sharded discovery found nothing")
 				}
 			}
 		}},

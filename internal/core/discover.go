@@ -42,6 +42,10 @@ type engine struct {
 	// serial executor, a worker-local fragment (merged in node order by the
 	// pool executor) otherwise.
 	res *Result
+	// scratch is the engine's reusable NodeResult for the apply-immediately
+	// paths (processNode); executors that retain results across a level use
+	// fresh NodeResults instead.
+	scratch NodeResult
 }
 
 // aborted reports that the run must stop, recording the cause in the
@@ -50,163 +54,20 @@ func (e *engine) aborted() bool {
 	return e.t.abortedInto(&e.res.Stats)
 }
 
-// processNode examines all candidates hosted at the node: OFDs
-// (Set\{D}): [] ↦ D for D ∈ Set, and OCs (Set\{A,B}): A ∼ B for pairs
-// {A,B} ⊆ Set. It returns the number of candidates validated (for the
-// early-stop rule).
+// processNode examines all candidates hosted at the node through the
+// location-transparent task path: propagate validity state from the parents
+// into a NodeTask (buildTask), validate its candidates (execTask) with
+// partitions resolved from the lattice, and fold the result back into the
+// node and the engine's accumulation target (applyTask). It returns the
+// number of candidates validated (for the early-stop rule). The sharded
+// executor runs the same three stages with execTask on a remote worker.
 func (e *engine) processNode(node *lattice.Node, parents, grandparents *lattice.Level) int {
-	st := &e.res.Stats
-	candidates := 0
-
-	// --- Propagate validity state from parents. ------------------------
-	if e.t.cfg.Bidirectional && node.OCValidDesc == nil {
-		node.OCValidDesc = lattice.NewPairSet(e.t.numAttrs)
-	}
-	var propagatedConst lattice.AttrSet
-	node.Set.ForEach(func(c int) {
-		if p := parents.Lookup(node.Set.Remove(c)); p != nil {
-			propagatedConst = propagatedConst.Union(p.ConstValid)
-			node.OCValid.UnionWith(p.OCValid)
-			if node.OCValidDesc != nil && p.OCValidDesc != nil {
-				node.OCValidDesc.UnionWith(p.OCValidDesc)
-			}
-		}
-	})
-	node.ConstValid = propagatedConst
-
-	// --- OFD candidates. -------------------------------------------------
-	attrs := node.Set.Attrs()
-	for _, d := range attrs {
-		if e.aborted() {
-			return candidates
-		}
-		if propagatedConst.Has(d) {
-			// A strict sub-context already has a valid OFD for d: any OFD
-			// here is valid but non-minimal. Skip validation entirely —
-			// unless the pruning ablation wants the cost measured.
-			st.OFDSkipped++
-			if e.t.cfg.DisablePruning {
-				parent := parents.Lookup(node.Set.Remove(d))
-				ctx := e.materialize(parent)
-				st.OFDCandidates++
-				candidates++
-				t0 := time.Now()
-				e.validateOFD(ctx, e.t.tbl.Column(d))
-				st.ValidationTime += time.Since(t0)
-			}
-			continue
-		}
-		parent := parents.Lookup(node.Set.Remove(d))
-		ctx := e.materialize(parent)
-		st.OFDCandidates++
-		candidates++
-		t0 := time.Now()
-		r := e.validateOFD(ctx, e.t.tbl.Column(d))
-		st.ValidationTime += time.Since(t0)
-		if r.Valid {
-			node.ConstValid = node.ConstValid.Add(d)
-			st.OFDsFoundPerLevel[node.Level]++
-			if e.t.cfg.IncludeOFDs {
-				ofd := OFD{
-					Context:  node.Set.Remove(d),
-					A:        d,
-					Error:    r.Error,
-					Removals: r.Removals,
-					Level:    node.Level,
-					Score:    Score(node.Level-1, r.Error),
-				}
-				if e.t.cfg.CollectRemovalSets {
-					full := e.v.ApproxOFD(ctx, e.t.tbl.Column(d),
-						validate.Options{Threshold: e.t.eps, CollectRemovals: true})
-					ofd.RemovalRows = full.RemovalRows
-				}
-				e.res.OFDs = append(e.res.OFDs, ofd)
-			}
-		}
-	}
-
-	// --- OC candidates (levels >= 2). -------------------------------------
-	if node.Level < 2 {
-		return candidates
-	}
-	directions := []bool{false}
-	if e.t.cfg.Bidirectional {
-		directions = []bool{false, true}
-	}
-	for i := 0; i < len(attrs); i++ {
-		for j := i + 1; j < len(attrs); j++ {
-			a, b := attrs[i], attrs[j]
-			for _, desc := range directions {
-				if e.aborted() {
-					return candidates
-				}
-				validSet := node.OCValid
-				if desc {
-					validSet = node.OCValidDesc
-				}
-				skip := false
-				if validSet.Has(a, b) {
-					// Valid in a sub-context: non-minimal here and
-					// everywhere above (minimality pruning).
-					st.OCSkippedMinimality++
-					skip = true
-				} else {
-					pa := parents.Lookup(node.Set.Remove(b)) // contains a
-					pb := parents.Lookup(node.Set.Remove(a))
-					if pa.ConstValid.Has(a) || pb.ConstValid.Has(b) {
-						// Constancy of a side within the OC's context (or a
-						// subset) trivializes the OC in both directions
-						// (e_OC ≤ e_OFD); never minimal.
-						st.OCSkippedConstancy++
-						skip = true
-					}
-				}
-				if skip {
-					if e.t.cfg.DisablePruning {
-						gp := grandparents.Lookup(node.Set.Remove(a).Remove(b))
-						ctx := e.materialize(gp)
-						st.OCCandidates++
-						candidates++
-						t0 := time.Now()
-						e.validateOCAt(gp, ctx, a, b, desc)
-						st.ValidationTime += time.Since(t0)
-					}
-					continue
-				}
-				gp := grandparents.Lookup(node.Set.Remove(a).Remove(b))
-				ctx := e.materialize(gp)
-				st.OCCandidates++
-				candidates++
-				t0 := time.Now()
-				if e.sampleRejects(ctx, a, b, desc) {
-					st.OCSampledRejected++
-					st.ValidationTime += time.Since(t0)
-					continue
-				}
-				r := e.validateOCAt(gp, ctx, a, b, desc)
-				st.ValidationTime += time.Since(t0)
-				if r.Valid {
-					validSet.Add(a, b)
-					st.OCsFoundPerLevel[node.Level]++
-					oc := OC{
-						Context:    node.Set.Remove(a).Remove(b),
-						A:          a,
-						B:          b,
-						Descending: desc,
-						Error:      r.Error,
-						Removals:   r.Removals,
-						Level:      node.Level,
-						Score:      Score(node.Level-2, r.Error),
-					}
-					if e.t.cfg.CollectRemovalSets {
-						oc.RemovalRows = e.collectOCRemovals(ctx, a, b, desc)
-					}
-					e.res.OCs = append(e.res.OCs, oc)
-				}
-			}
-		}
-	}
-	return candidates
+	task := buildTask(node, parents, e.t.numAttrs, e.t.cfg.Bidirectional)
+	// The node's result is applied before the next node, so the engine's
+	// scratch NodeResult serves every node without allocating.
+	e.execTask(&task, levelSource{e: e, parents: parents, grandparents: grandparents}, &e.scratch)
+	e.applyTask(node, &task, &e.scratch)
+	return e.scratch.Candidates
 }
 
 // columnB returns the B column in the requested direction.
@@ -262,14 +123,14 @@ func (e *engine) validateOFD(ctx *partition.Stripped, col *dataset.Column) valid
 	return e.v.ApproxOFD(ctx, col, validate.Options{Threshold: e.t.eps})
 }
 
-// validateOCAt validates the OC candidate with context node gp (whose
+// validateOCVia validates the OC candidate with context set gpSet (whose
 // partition is ctx) over attributes a and b (B descending when desc),
 // routing to the configured validator — including the sorted-scan exact
-// route when enabled.
-func (e *engine) validateOCAt(gp *lattice.Node, ctx *partition.Stripped, a, b int, desc bool) validate.Result {
+// route when enabled (serial executor only; parts resolves the class ids).
+func (e *engine) validateOCVia(parts partSource, gpSet lattice.AttrSet, ctx *partition.Stripped, a, b int, desc bool) validate.Result {
 	cb := e.columnB(b, desc)
 	if e.t.orders != nil && e.t.cfg.Validator == ValidatorExact {
-		ids := gp.ClassIDs(e.t.singles)
+		ids := parts.classIDsOf(gpSet)
 		ok, _ := e.v.ExactOCScan(ids, ctx.NumClasses(), e.t.orders.Order(a),
 			e.t.tbl.Column(a), cb)
 		return validate.Result{Valid: ok, Aborted: !ok}

@@ -21,19 +21,51 @@ type serialExecutor struct {
 
 func (s *serialExecutor) prepare(t *traversal) bool {
 	s.eng = &engine{t: t, v: validate.New(), res: t.res}
-	t.singles = make([]*partition.Stripped, t.numAttrs)
-	for a := 0; a < t.numAttrs; a++ {
-		// Polled per column so cancellation doesn't pay for the whole
-		// startup phase on large tables.
-		if t.abortedInto(&t.res.Stats) {
-			return false
-		}
-		t.singles[a] = partition.Single(t.tbl.Column(a))
+	if !t.buildSingles(1) {
+		return false
 	}
 	if t.cfg.UseSortedScan && t.cfg.Validator == ValidatorExact {
 		t.orders = validate.NewTableOrders(t.tbl)
 	}
 	return true
+}
+
+func (s *serialExecutor) close() {}
+
+// buildSingles materializes the per-attribute partitions, across `workers`
+// goroutines when workers > 1. Cancellation is polled per column so an abort
+// doesn't pay for the whole O(cols · rows) startup phase on large tables; it
+// returns false when the run was aborted (some singles may be nil then — the
+// caller must not touch them).
+func (t *traversal) buildSingles(workers int) bool {
+	t.singles = make([]*partition.Stripped, t.numAttrs)
+	if workers <= 1 {
+		for a := 0; a < t.numAttrs; a++ {
+			if t.abortedInto(&t.res.Stats) {
+				return false
+			}
+			t.singles[a] = partition.Single(t.tbl.Column(a))
+		}
+		return true
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for a := 0; a < t.numAttrs; a++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if t.ctx != nil && t.ctx.Err() != nil {
+				return
+			}
+			t.singles[a] = partition.Single(t.tbl.Column(a))
+		}(a)
+	}
+	wg.Wait()
+	// Some singles may be nil after a cancellation; abort before anything
+	// touches them.
+	return !t.abortedInto(&t.res.Stats)
 }
 
 func (s *serialExecutor) runLevel(t *traversal, cur, prev, prev2 *lattice.Level) int {
@@ -82,27 +114,7 @@ type nodeOut struct {
 }
 
 func (p *poolExecutor) prepare(t *traversal) bool {
-	t.singles = make([]*partition.Stripped, t.numAttrs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.workers)
-	for a := 0; a < t.numAttrs; a++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(a int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			// Polled per column so cancellation skips the remainder of the
-			// startup partitioning phase.
-			if t.ctx != nil && t.ctx.Err() != nil {
-				return
-			}
-			t.singles[a] = partition.Single(t.tbl.Column(a))
-		}(a)
-	}
-	wg.Wait()
-	// Some singles may be nil after a cancellation; abort before anything
-	// touches them.
-	if t.abortedInto(&t.res.Stats) {
+	if !t.buildSingles(p.workers) {
 		return false
 	}
 	p.engines = make([]*engine, p.workers)
@@ -111,6 +123,8 @@ func (p *poolExecutor) prepare(t *traversal) bool {
 	}
 	return true
 }
+
+func (p *poolExecutor) close() {}
 
 func (p *poolExecutor) runLevel(t *traversal, cur, prev, prev2 *lattice.Level) int {
 	st := &t.res.Stats

@@ -54,10 +54,10 @@ type ProgressSink func(Snapshot)
 
 // Executor is the pluggable validation stage of the Pipeline: it owns how the
 // candidates of one lattice level are processed (serially, across a worker
-// pool — and, eventually, across a slice of the level on a remote shard).
-// Implementations share the engine's node-processing code; only the schedule
-// differs, so every executor produces identical results and identical
-// (non-timing) stats. Constructors: Serial, Pool.
+// pool, or across slices of the level on remote shards). Implementations
+// share the engine's node-processing code (buildTask/execTask/applyTask);
+// only the schedule differs, so every executor produces identical results and
+// identical (non-timing) stats. Constructors: Serial, Pool, Sharded.
 type Executor interface {
 	// prepare builds the per-attribute partitions and any executor-owned
 	// state before traversal. It returns false when the run was aborted
@@ -67,6 +67,9 @@ type Executor interface {
 	// dependencies and stats into t.res in deterministic node order, and
 	// returns the number of candidates validated.
 	runLevel(t *traversal, cur, prev, prev2 *lattice.Level) int
+	// close releases executor-owned resources (e.g. a sharded executor's
+	// worker session) when the run ends, normally or aborted.
+	close()
 }
 
 // Pipeline is the unified level-wise traversal that Discover and
@@ -96,10 +99,10 @@ type traversal struct {
 	// next level's partition products, keeping steady-state traversal
 	// nearly allocation-free. It is concurrency-safe and shared by all
 	// workers of a pool executor.
-	arena   *partition.Arena
-	singles []*partition.Stripped
-	orders  *validate.TableOrders // non-nil only under UseSortedScan (serial)
-	start   time.Time
+	arena    *partition.Arena
+	singles  []*partition.Stripped
+	orders   *validate.TableOrders // non-nil only under UseSortedScan (serial)
+	start    time.Time
 	deadline time.Time
 	res      *Result
 }
@@ -174,6 +177,7 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 	if exec == nil {
 		exec = Serial()
 	}
+	defer exec.close()
 	maxLevel := numAttrs
 	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxLevel {
 		maxLevel = cfg.MaxLevel

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"aod/internal/dataset"
+	"aod/internal/lattice"
+	"aod/internal/validate"
+)
+
+// ShardPool provisions shard workers for one discovery run. It is
+// implemented by internal/shard.Cluster (TCP workers or the in-process
+// loopback transport); core only sees the session contract.
+type ShardPool interface {
+	// Open pins the run's dataset and configuration on every reachable
+	// worker (fingerprint handshake; the dataset payload ships only to
+	// workers that don't already cache it) and returns the session. An error
+	// means no worker is usable — the sharded executor then degrades to
+	// local execution rather than failing the run.
+	Open(ctx context.Context, tbl *dataset.Table, cfg Config) (ShardSession, error)
+}
+
+// ShardSession is one run's window onto the worker pool.
+type ShardSession interface {
+	// Width is the number of healthy shards; each lattice level is split
+	// into at most Width contiguous slices dispatched concurrently.
+	Width() int
+	// RunSlice processes one slice of a level on shard `shard`, returning
+	// results in task order. Implementations own the per-shard timeout,
+	// retry-on-another-shard, and straggler re-dispatch policies; an error
+	// means every route failed and the caller should run the slice locally.
+	RunSlice(ctx context.Context, shard, level int, tasks []NodeTask) ([]NodeResult, error)
+	Close() error
+}
+
+// Sharded returns the distributed executor: each lattice level's tasks are
+// sliced contiguously across the pool's shards, executed remotely, and the
+// results merged in node order — so reports and non-timing stats are
+// identical to Serial()'s, only the machines differ. Every failure mode
+// degrades instead of failing the job: an unreachable pool runs the whole
+// job locally, a dead or straggling worker has its slice re-dispatched by
+// the session or, last, executed locally by the coordinator.
+func Sharded(pool ShardPool) Executor { return &shardedExecutor{pool: pool} }
+
+type shardedExecutor struct {
+	pool ShardPool
+	sess ShardSession
+	eng  *engine
+	// localMu serializes local (fallback) slice execution: the engine and
+	// the lattice's lazily materialized partitions are not concurrency-safe.
+	localMu sync.Mutex
+}
+
+func (x *shardedExecutor) prepare(t *traversal) bool {
+	if !t.buildSingles(runtime.GOMAXPROCS(0)) {
+		return false
+	}
+	x.eng = &engine{t: t, v: validate.New(), res: t.res}
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sess, err := x.pool.Open(ctx, t.tbl, t.cfg); err == nil {
+		x.sess = sess
+	}
+	// A pool with no reachable worker leaves sess nil: the run proceeds
+	// fully locally (degraded, not failed).
+	return !t.abortedInto(&t.res.Stats)
+}
+
+func (x *shardedExecutor) close() {
+	if x.sess != nil {
+		x.sess.Close()
+		x.sess = nil
+	}
+}
+
+func (x *shardedExecutor) runLevel(t *traversal, cur, prev, prev2 *lattice.Level) int {
+	st := &t.res.Stats
+	if t.abortedInto(st) {
+		return 0
+	}
+	width := 0
+	if x.sess != nil {
+		width = x.sess.Width()
+	}
+	if width <= 0 {
+		// No shard usable at all: run the level exactly like the serial
+		// executor — per-node scratch, no retained task/result slices.
+		candidates := 0
+		for _, node := range cur.Nodes {
+			if x.eng.aborted() {
+				return candidates
+			}
+			st.NodesProcessed++
+			candidates += x.eng.processNode(node, prev, prev2)
+		}
+		x.eng.aborted()
+		return candidates
+	}
+
+	// Propagation needs the whole previous level, so tasks are built
+	// coordinator-side (cheap: bitmask unions), in node order.
+	tasks := make([]NodeTask, len(cur.Nodes))
+	for i, n := range cur.Nodes {
+		tasks[i] = buildTask(n, prev, t.numAttrs, t.cfg.Bidirectional)
+	}
+	results := make([]NodeResult, len(tasks))
+
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var wg sync.WaitGroup
+	for shard := 0; shard < width; shard++ {
+		lo, hi := sliceBounds(len(tasks), width, shard)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			rs, err := x.sess.RunSlice(ctx, shard, cur.Number, tasks[lo:hi])
+			if err == nil && len(rs) == hi-lo {
+				copy(results[lo:hi], rs)
+				return
+			}
+			// Every remote route failed (or the session degenerated): run
+			// the slice here so the job completes regardless.
+			x.runLocal(t, tasks[lo:hi], results[lo:hi], prev, prev2)
+		}(shard, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in node order: applyTask is the single entry point for results,
+	// so the report and the non-timing stats match Serial() byte for byte.
+	candidates := 0
+	for i, n := range cur.Nodes {
+		st.NodesProcessed++
+		x.eng.applyTask(n, &tasks[i], &results[i])
+		candidates += results[i].Candidates
+	}
+	// Record a deadline/cancellation that landed after the last slice, so
+	// the pipeline stops before generating the next level.
+	x.eng.aborted()
+	return candidates
+}
+
+// runLocal executes a slice on the coordinator, resolving partitions through
+// the lattice like the serial executor. Serialized by localMu: concurrent
+// fallback slices share one engine and the nodes' lazily materialized
+// partitions.
+func (x *shardedExecutor) runLocal(t *traversal, tasks []NodeTask, results []NodeResult, prev, prev2 *lattice.Level) {
+	x.localMu.Lock()
+	defer x.localMu.Unlock()
+	src := levelSource{e: x.eng, parents: prev, grandparents: prev2}
+	for i := range tasks {
+		if x.eng.aborted() {
+			return
+		}
+		// Results are retained until the level's apply pass, so each slot is
+		// filled in place rather than through the engine scratch.
+		x.eng.execTask(&tasks[i], src, &results[i])
+	}
+}
+
+// sliceBounds returns the [lo, hi) bounds of the shard-th of `width`
+// contiguous near-equal slices over n tasks.
+func sliceBounds(n, width, shard int) (int, int) {
+	return shard * n / width, (shard + 1) * n / width
+}

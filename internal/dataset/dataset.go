@@ -411,7 +411,7 @@ func buildIntColumn(name string, vals []int64) *Column {
 			sorted = append(sorted, v)
 		}
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sortInt64s(sorted)
 	for r, v := range sorted {
 		distinctIdx[v] = int32(r)
 	}
@@ -438,7 +438,7 @@ func buildFloatColumn(name string, vals []float64) *Column {
 			sorted = append(sorted, v)
 		}
 	}
-	sort.Float64s(sorted)
+	sortFloat64s(sorted)
 	if hasNaN {
 		sorted = append([]float64{math.NaN()}, sorted...)
 	}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// radixCutoff is the slice length below which an LSD radix sort loses to a
+// comparison sort's lower constant factor (mirroring internal/validate's
+// per-class cutoff).
+const radixCutoff = 64
+
+// radixSortUint64 sorts v ascending with an LSD byte-radix, skipping digits
+// that are constant across the slice (dense value ranges rarely touch the
+// high bytes). It is the cold-start analogue of the validators' per-class
+// radix: column construction sorts each column's distinct values once, and
+// on wide tables that comparison sort dominated dataset build time.
+func radixSortUint64(v []uint64) {
+	n := len(v)
+	tmp := make([]uint64, n)
+	src, dst := v, tmp
+	swapped := false
+	var maxKey uint64
+	for _, x := range v {
+		if x > maxKey {
+			maxKey = x
+		}
+	}
+	var cnt [256]int
+	for shift := uint(0); shift < 64 && maxKey>>shift != 0; shift += 8 {
+		clear(cnt[:])
+		for _, x := range src {
+			cnt[uint8(x>>shift)]++
+		}
+		if cnt[uint8(src[0]>>shift)] == n {
+			continue // every key shares this digit: nothing to move
+		}
+		sum := 0
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = sum
+			sum += c
+		}
+		for _, x := range src {
+			d := uint8(x >> shift)
+			dst[cnt[d]] = x
+			cnt[d]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(v, src)
+	}
+}
+
+// sortInt64s sorts ascending; the sign bit is flipped so the unsigned radix
+// order matches signed order.
+func sortInt64s(v []int64) {
+	if len(v) < radixCutoff {
+		slices.Sort(v)
+		return
+	}
+	u := make([]uint64, len(v))
+	for i, x := range v {
+		u[i] = uint64(x) ^ (1 << 63)
+	}
+	radixSortUint64(u)
+	for i, x := range u {
+		v[i] = int64(x ^ (1 << 63))
+	}
+}
+
+// sortFloat64s sorts ascending under the column order (the caller excludes
+// NaNs). The IEEE-754 bit pattern is reflected into a monotone unsigned key:
+// non-negative floats set the sign bit, negative floats flip all bits.
+func sortFloat64s(v []float64) {
+	if len(v) < radixCutoff {
+		sort.Float64s(v)
+		return
+	}
+	u := make([]uint64, len(v))
+	for i, f := range v {
+		b := math.Float64bits(f)
+		if b&(1<<63) != 0 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		u[i] = b
+	}
+	radixSortUint64(u)
+	for i, b := range u {
+		if b&(1<<63) != 0 {
+			b &^= 1 << 63
+		} else {
+			b = ^b
+		}
+		v[i] = math.Float64frombits(b)
+	}
+}

@@ -477,12 +477,22 @@ func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 	if gate := s.cfg.runGate; gate != nil {
 		gate(j)
 	}
-	rep, err := aod.DiscoverStreamContext(j.ctx, ds, j.opts, func(p aod.Progress, partial *aod.Report) {
+	onLevel := func(p aod.Progress, partial *aod.Report) {
 		j.publishProgress(p, partial)
 		if hook := s.cfg.levelHook; hook != nil {
 			hook(j)
 		}
-	})
+	}
+	// The sharded and local paths are result-identical by the executor
+	// contract, so cache keys and in-flight dedup need not know which one
+	// ran the job.
+	var rep *aod.Report
+	var err error
+	if s.cfg.ShardPool != nil {
+		rep, err = aod.DiscoverShardedStreamContext(j.ctx, ds, j.opts, s.cfg.ShardPool, onLevel)
+	} else {
+		rep, err = aod.DiscoverStreamContext(j.ctx, ds, j.opts, onLevel)
+	}
 	if err == nil && !rep.Stats.Canceled && !rep.Stats.TimedOut {
 		s.validationNs.Add(int64(rep.Stats.ValidationTime))
 		s.discoveryNs.Add(int64(rep.Stats.TotalTime))

@@ -1,31 +1,65 @@
 package service
 
-import "container/heap"
+import (
+	"container/heap"
+	"time"
+)
 
 // jobQueue is the pending-job priority queue: jobs waiting for a worker are
 // ordered by estimated cost (rows × cols × levels to explore, see
 // aod.EstimateWork), smallest first, with submission order breaking ties.
 // This is the size-aware scheduling the FIFO queue lacked: a cheap
 // interactive probe no longer waits behind a multi-minute wide-table crawl
-// submitted moments earlier. The flip side — a steady stream of small jobs
-// can delay a large one indefinitely — is the intended trade for a service
-// whose large jobs are batch work; the submission-order tie-break at least
-// keeps equal-cost jobs strictly fair.
+// submitted moments earlier.
+//
+// Cost order alone lets a steady stream of small jobs delay a large one
+// indefinitely, so the queue ages: alongside the heap it keeps the jobs in
+// admission order, and once the oldest job has waited maxWait, pop serves it
+// ahead of any cheaper newcomer. Aging is a pop-time decision against a
+// fixed admission timestamp — the heap's cost invariant never rots in place.
 //
 // Not safe for concurrent use; the Service serializes access under its mutex.
 type jobQueue struct {
 	h jobHeap
+	// fifo holds queued jobs in admission order. Entries are removed lazily:
+	// a job popped or removed via the heap keeps its fifo slot until it
+	// reaches the front (heapIdx == -1 marks it dead).
+	fifo []*Job
+	// maxWait is the aging bound (0 disables); now is the clock (test seam).
+	maxWait time.Duration
+	now     func() time.Time
 }
 
 func (q *jobQueue) Len() int { return len(q.h) }
 
-// push admits the job. Its cost and seq must already be set.
-func (q *jobQueue) push(j *Job) { heap.Push(&q.h, j) }
+// push admits the job. Its cost, seq, and created stamp must already be set.
+func (q *jobQueue) push(j *Job) {
+	heap.Push(&q.h, j)
+	q.fifo = append(q.fifo, j)
+}
 
-// pop removes and returns the cheapest job, or nil when empty.
+// oldest returns the longest-queued live job, compacting dead fifo entries.
+func (q *jobQueue) oldest() *Job {
+	for len(q.fifo) > 0 && q.fifo[0].heapIdx < 0 {
+		q.fifo[0] = nil
+		q.fifo = q.fifo[1:]
+	}
+	if len(q.fifo) == 0 {
+		return nil
+	}
+	return q.fifo[0]
+}
+
+// pop removes and returns the next job — the cheapest, unless the oldest job
+// has aged past maxWait, in which case the oldest — or nil when empty.
 func (q *jobQueue) pop() *Job {
 	if len(q.h) == 0 {
 		return nil
+	}
+	if old := q.oldest(); old != nil && q.maxWait > 0 && q.now != nil &&
+		q.now().Sub(old.created) >= q.maxWait {
+		heap.Remove(&q.h, old.heapIdx)
+		return old
 	}
 	return heap.Pop(&q.h).(*Job)
 }

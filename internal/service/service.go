@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aod"
 	"aod/internal/store"
 )
 
@@ -40,13 +41,27 @@ type Config struct {
 	// startup, and evicted/cold state reloads lazily on use. Nil preserves
 	// the purely in-memory behavior.
 	Store *store.Store
+	// ShardPool, when non-nil, slices each job's lattice levels across the
+	// pool's aodworker processes (aodserver -workers). Results are identical
+	// to local execution — the sharded executor's contract — so the result
+	// cache and in-flight dedup are oblivious to where a job actually ran,
+	// and a degraded pool only slows jobs down. Per-worker health and
+	// assignment counts surface in Stats.Shards.
+	ShardPool *aod.ShardPool
+	// MaxQueueWait bounds how long cost-based scheduling may delay a queued
+	// job: a job queued longer than this is picked next regardless of its
+	// cost, so a flood of small jobs cannot starve batch work indefinitely
+	// (default 1m; negative disables aging).
+	MaxQueueWait time.Duration
 
 	// Test seams (same-package tests only): runGate runs when a worker picks
 	// the job up, before discovery starts; levelHook runs after each level
 	// snapshot is published. Both may block — that is their point: they make
-	// scheduling order and streaming pace deterministic under test.
+	// scheduling order and streaming pace deterministic under test. now
+	// substitutes the queue-aging clock.
 	runGate   func(*Job)
 	levelHook func(*Job)
+	now       func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +92,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobHistory < 0 {
 		c.MaxJobHistory = 0
 	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = time.Minute
+	}
+	if c.MaxQueueWait < 0 {
+		c.MaxQueueWait = 0 // aging disabled
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	return c
 }
 
@@ -94,8 +118,8 @@ type Service struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond // signaled when pending gains a job or on Close
 	closed   bool
-	jobs    map[string]*Job
-	order   []string // submission order, for stable listings
+	jobs     map[string]*Job
+	order    []string // submission order, for stable listings
 	// pending holds jobs waiting for a worker (bounded by QueueDepth),
 	// ordered by estimated cost so small jobs are not starved by large ones
 	// submitted ahead of them (see jobQueue).
@@ -130,6 +154,8 @@ func New(cfg Config) *Service {
 		jobs:     make(map[string]*Job),
 		flights:  make(map[string]*flight),
 	}
+	s.pending.maxWait = cfg.MaxQueueWait
+	s.pending.now = cfg.now
 	s.notEmpty = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -170,14 +196,14 @@ type Stats struct {
 	// rest are on disk and reload lazily (equal to Datasets without a Store).
 	DatasetsResident int    `json:"datasetsResident"`
 	JobsSubmitted    uint64 `json:"jobsSubmitted"`
-	JobsDone      uint64 `json:"jobsDone"`
-	JobsFailed    uint64 `json:"jobsFailed"`
-	JobsCanceled  uint64 `json:"jobsCanceled"`
-	JobsInFlight  int64  `json:"jobsInFlight"`
+	JobsDone         uint64 `json:"jobsDone"`
+	JobsFailed       uint64 `json:"jobsFailed"`
+	JobsCanceled     uint64 `json:"jobsCanceled"`
+	JobsInFlight     int64  `json:"jobsInFlight"`
 	// JobsWaiting counts jobs parked on an identical in-flight run — in
 	// state "running" but holding no worker.
-	JobsWaiting    int64         `json:"jobsWaiting"`
-	JobsQueued     int           `json:"jobsQueued"`
+	JobsWaiting   int64  `json:"jobsWaiting"`
+	JobsQueued    int    `json:"jobsQueued"`
 	CacheHits     uint64 `json:"cacheHits"`
 	CacheMisses   uint64 `json:"cacheMisses"`
 	CacheSize     int    `json:"cacheSize"`
@@ -190,16 +216,19 @@ type Stats struct {
 	// PersistErrors are its health counters: corrupt files moved aside, and
 	// report write-throughs that failed (all zero without a Store).
 	// ReportEvictions counts report files deleted by the disk-budget GC.
-	Persistent      bool   `json:"persistent"`
-	Quarantined     uint64 `json:"quarantined"`
-	PersistErrors   uint64 `json:"persistErrors"`
-	ReportEvictions uint64 `json:"reportEvictions,omitempty"`
-	ValidationRuns uint64        `json:"validationRuns"`
-	ValidationTime time.Duration `json:"validationTimeNs"`
-	DiscoveryTime  time.Duration `json:"discoveryTimeNs"`
-	Workers        int           `json:"workers"`
-	QueueDepth     int           `json:"queueDepth"`
-	Uptime         time.Duration `json:"uptimeNs"`
+	Persistent      bool          `json:"persistent"`
+	Quarantined     uint64        `json:"quarantined"`
+	PersistErrors   uint64        `json:"persistErrors"`
+	ReportEvictions uint64        `json:"reportEvictions,omitempty"`
+	ValidationRuns  uint64        `json:"validationRuns"`
+	ValidationTime  time.Duration `json:"validationTimeNs"`
+	DiscoveryTime   time.Duration `json:"discoveryTimeNs"`
+	Workers         int           `json:"workers"`
+	QueueDepth      int           `json:"queueDepth"`
+	Uptime          time.Duration `json:"uptimeNs"`
+	// Shards reports per-worker health and assignment counts when a shard
+	// pool backs job execution (aodserver -workers); absent otherwise.
+	Shards []aod.ShardWorkerStatus `json:"shards,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -212,26 +241,29 @@ func (s *Service) Stats() Stats {
 		Datasets:         s.registry.Len(),
 		DatasetsResident: s.registry.Resident(),
 		JobsSubmitted:    s.jobsSubmitted.Load(),
-		JobsDone:       s.jobsDone.Load(),
-		JobsFailed:     s.jobsFailed.Load(),
-		JobsCanceled:   s.jobsCanceled.Load(),
-		JobsInFlight:   s.inFlight.Load(),
-		JobsWaiting:    s.waiting.Load(),
-		JobsQueued:     queued,
-		CacheHits:      s.cacheHits.Load(),
-		CacheMisses:    s.cacheMisses.Load(),
-		CacheSize:      size,
-		CacheCapacity:  capacity,
-		CacheEvictions: evictions,
-		ValidationRuns: s.validationRuns.Load(),
-		ValidationTime: time.Duration(s.validationNs.Load()),
-		DiscoveryTime:  time.Duration(s.discoveryNs.Load()),
-		Workers:        s.cfg.Workers,
-		QueueDepth:     s.cfg.QueueDepth,
-		Uptime:         time.Since(s.start),
+		JobsDone:         s.jobsDone.Load(),
+		JobsFailed:       s.jobsFailed.Load(),
+		JobsCanceled:     s.jobsCanceled.Load(),
+		JobsInFlight:     s.inFlight.Load(),
+		JobsWaiting:      s.waiting.Load(),
+		JobsQueued:       queued,
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		CacheSize:        size,
+		CacheCapacity:    capacity,
+		CacheEvictions:   evictions,
+		ValidationRuns:   s.validationRuns.Load(),
+		ValidationTime:   time.Duration(s.validationNs.Load()),
+		DiscoveryTime:    time.Duration(s.discoveryNs.Load()),
+		Workers:          s.cfg.Workers,
+		QueueDepth:       s.cfg.QueueDepth,
+		Uptime:           time.Since(s.start),
 	}
 	st.CacheDiskHits = s.cache.diskHits.Load()
 	st.PersistErrors = s.cache.persistErrors.Load()
+	if s.cfg.ShardPool != nil {
+		st.Shards = s.cfg.ShardPool.Workers()
+	}
 	if s.cfg.Store != nil {
 		st.Persistent = true
 		st.Quarantined = s.cfg.Store.Quarantined()

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aod"
+)
+
+// TestShardedServiceJobs runs the service with a loopback shard pool: jobs
+// execute over the full wire protocol, reports match local execution, and
+// /stats surfaces per-worker assignment counts.
+func TestShardedServiceJobs(t *testing.T) {
+	pool := aod.LoopbackShardPool(2)
+	defer pool.Close()
+	s := New(Config{Workers: 2, ShardPool: pool})
+	defer s.Close()
+	local := New(Config{Workers: 1})
+	defer local.Close()
+
+	ds := multiLevelDataset(t, 500, 6)
+	info, _, err := s.Registry().Add("d", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linfo, _, err := local.Registry().Add("d", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := aod.Options{Threshold: 0.1, IncludeOFDs: true}
+	view, err := s.Submit(info.ID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := waitState(t, s, view.ID, JobDone)
+	lview, err := local.Submit(linfo.ID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := waitState(t, local, lview.ID, JobDone)
+
+	if sharded.Report == nil || plain.Report == nil {
+		t.Fatal("missing report")
+	}
+	if !reflect.DeepEqual(sharded.Report.OCs, plain.Report.OCs) ||
+		!reflect.DeepEqual(sharded.Report.OFDs, plain.Report.OFDs) {
+		t.Errorf("sharded job report differs from local execution")
+	}
+
+	st := s.Stats()
+	if len(st.Shards) != 2 {
+		t.Fatalf("stats should list 2 shard workers, got %+v", st.Shards)
+	}
+	var assigned uint64
+	for _, w := range st.Shards {
+		assigned += w.AssignedTasks
+		if !w.Healthy {
+			t.Errorf("loopback worker %s unhealthy: %+v", w.Addr, w)
+		}
+	}
+	if assigned == 0 {
+		t.Error("no tasks recorded as assigned to shard workers")
+	}
+}
+
+// TestQueueAgingLargeJobOvertakesSmallFlood pins the starvation escape hatch:
+// with one worker pinned, a large job that has aged past MaxQueueWait runs
+// before a flood of fresh small jobs, even though every small job is cheaper.
+func TestQueueAgingLargeJobOvertakesSmallFlood(t *testing.T) {
+	entered := make(chan string, 16)
+	release := make(chan struct{})
+	var clockOffset atomic.Int64
+	cfg := Config{
+		Workers:      1,
+		MaxQueueWait: time.Minute,
+		now:          func() time.Time { return time.Now().Add(time.Duration(clockOffset.Load())) },
+	}
+	var once sync.Once
+	cfg.runGate = func(j *Job) {
+		entered <- j.id
+		once.Do(func() { <-release }) // only the first (blocker) job stalls
+	}
+	s := New(cfg)
+	defer s.Close()
+
+	blockerInfo, _, err := s.Registry().Add("blocker", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeInfo, _, err := s.Registry().Add("large", multiLevelDataset(t, 3000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallInfo, _, err := s.Registry().Add("small", multiLevelDataset(t, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocker, err := s.Submit(blockerInfo.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := <-entered // the blocker owns the worker and is stalled on the gate
+
+	large, err := s.Submit(largeInfo.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The large job has now been "waiting" two minutes; the small jobs below
+	// are admitted against the same shifted clock, so only the large job's
+	// age (measured from its real admission stamp) crosses MaxQueueWait...
+	clockOffset.Store(int64(2 * time.Minute))
+	// ...and a flood of fresh cheap jobs — which the pure cost order would
+	// all run first — cannot push it back any further.
+	var smalls []string
+	for i := 0; i < 3; i++ {
+		v, err := s.Submit(smallInfo.ID, aod.Options{Threshold: 0.1 + float64(i)/1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smalls = append(smalls, v.ID)
+	}
+	close(release)
+
+	second := <-entered
+	if first != blocker.ID || second != large.ID {
+		t.Fatalf("execution order [%s %s ...], want the aged large job %s right after the blocker %s (smalls %v)",
+			first, second, large.ID, blocker.ID, smalls)
+	}
+	waitState(t, s, large.ID, JobDone)
+	for _, id := range smalls {
+		waitState(t, s, id, JobDone)
+	}
+}
+
+// TestQueueAgingDisabled pins that negative MaxQueueWait restores pure
+// cost-order scheduling.
+func TestQueueAgingDisabled(t *testing.T) {
+	entered := make(chan string, 16)
+	release := make(chan struct{})
+	var clockOffset atomic.Int64
+	cfg := Config{
+		Workers:      1,
+		MaxQueueWait: -1,
+		now:          func() time.Time { return time.Now().Add(time.Duration(clockOffset.Load())) },
+	}
+	var once sync.Once
+	cfg.runGate = func(j *Job) {
+		entered <- j.id
+		once.Do(func() { <-release })
+	}
+	s := New(cfg)
+	defer s.Close()
+
+	blockerInfo, _, _ := s.Registry().Add("blocker", smallDataset(t))
+	largeInfo, _, _ := s.Registry().Add("large", multiLevelDataset(t, 3000, 8))
+	smallInfo, _, _ := s.Registry().Add("small", multiLevelDataset(t, 40, 3))
+
+	blocker, err := s.Submit(blockerInfo.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	large, err := s.Submit(largeInfo.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clockOffset.Store(int64(2 * time.Minute))
+	small, err := s.Submit(smallInfo.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	second := <-entered
+	if second != small.ID {
+		t.Fatalf("with aging disabled the cheap job should still overtake: got %s, want %s (blocker %s, large %s)",
+			second, small.ID, blocker.ID, large.ID)
+	}
+	waitState(t, s, large.ID, JobDone)
+}

@@ -1,0 +1,41 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// NewLoopback returns a Cluster whose workers run in-process, connected via
+// net.Pipe: the full wire protocol (framing, handshake, dataset shipping,
+// failure handling) is exercised without sockets. It backs the executor
+// equivalence tests, the worker-death tests, and the aodbench `sharded`
+// workload that tracks protocol overhead against the in-memory pool.
+func NewLoopback(cfg Config, workers []*Worker) *Cluster {
+	addrs := make([]string, len(workers))
+	for i := range workers {
+		addrs[i] = fmt.Sprintf("loopback/%d", i)
+	}
+	c := New(addrs, cfg)
+	c.dial = func(ctx context.Context, addr string) (net.Conn, error) {
+		i, err := strconv.Atoi(strings.TrimPrefix(addr, "loopback/"))
+		if err != nil || i < 0 || i >= len(workers) {
+			return nil, fmt.Errorf("shard: bad loopback address %q", addr)
+		}
+		client, server := net.Pipe()
+		go workers[i].ServeConn(server)
+		return client, nil
+	}
+	return c
+}
+
+// Loopback is NewLoopback over n default workers.
+func Loopback(n int) *Cluster {
+	workers := make([]*Worker, n)
+	for i := range workers {
+		workers[i] = NewWorker(WorkerOptions{})
+	}
+	return NewLoopback(Config{}, workers)
+}

@@ -1,0 +1,130 @@
+// Package shard distributes lattice-level validation across worker
+// processes: the coordinator-side Cluster (implementing core.ShardPool) and
+// the worker-side Worker speak a small framed protocol over any net.Conn —
+// TCP for real deployments (cmd/aodworker), an in-process loopback for tests
+// and benchmarks.
+//
+// The protocol is designed around the paper's observation (after Saxena,
+// Golab & Ilyas, PVLDB 2019) that lattice nodes are independent within a
+// level given the previous level's state: a session opens with a dataset
+// fingerprint handshake (the payload ships only to workers that don't cache
+// it, and single-column partitions are built once per worker per dataset),
+// after which each lattice level ships only attribute-set tasks and
+// validation verdicts — never partitions.
+//
+// Sequence, per connection (one connection = one job session):
+//
+//	C → hello   {proto, fingerprint, rows, cols, config}
+//	W → ack     {ok, needDataset}
+//	C → dataset {csv, types}          (only when needDataset)
+//	W → ack     {ok}
+//	repeat:
+//	  C → level  {level, tasks}
+//	  W → result {results}
+//
+// Framing is a 4-byte big-endian length prefix followed by one JSON-encoded
+// frame. Errors are in-band (ack.error / result.error); transport failures
+// surface as read/write errors and mark the worker dead for the session.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aod/internal/core"
+)
+
+// protoVersion guards against coordinator/worker skew: a worker refuses a
+// hello whose version it does not speak, and the coordinator treats that
+// worker as unusable.
+const protoVersion = 1
+
+// maxFrameBytes bounds a single frame (the dataset frame dominates; task and
+// result frames are small). Oversized frames poison the connection.
+const maxFrameBytes = 1 << 30
+
+// frame is the single wire envelope; T selects which payload is set.
+type frame struct {
+	T       string      `json:"t"`
+	Hello   *helloMsg   `json:"hello,omitempty"`
+	Ack     *ackMsg     `json:"ack,omitempty"`
+	Dataset *datasetMsg `json:"dataset,omitempty"`
+	Level   *levelMsg   `json:"level,omitempty"`
+	Result  *resultMsg  `json:"result,omitempty"`
+}
+
+// helloMsg opens a job session: the dataset's identity and the discovery
+// configuration the worker must validate tasks under.
+type helloMsg struct {
+	Proto       int         `json:"proto"`
+	Fingerprint string      `json:"fingerprint"`
+	Rows        int         `json:"rows"`
+	Cols        int         `json:"cols"`
+	Config      core.Config `json:"config"`
+}
+
+// ackMsg answers hello and dataset frames.
+type ackMsg struct {
+	OK bool `json:"ok"`
+	// NeedDataset asks the coordinator to ship the dataset payload (the
+	// fingerprint missed the worker's cache).
+	NeedDataset bool   `json:"needDataset,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// datasetMsg ships the dataset as CSV plus the explicit column types that
+// make the round trip lossless (equal fingerprint on the worker — verified).
+type datasetMsg struct {
+	CSV   []byte   `json:"csv"`
+	Types []string `json:"types"`
+}
+
+// levelMsg carries one contiguous slice of a lattice level.
+type levelMsg struct {
+	Level int             `json:"level"`
+	Tasks []core.NodeTask `json:"tasks"`
+}
+
+// resultMsg answers a levelMsg with the slice's results in task order.
+type resultMsg struct {
+	Results []core.NodeResult `json:"results,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// writeFrame encodes f and writes it length-prefixed.
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("shard: encode %s frame: %w", f.T, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("shard: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return &f, nil
+}

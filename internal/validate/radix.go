@@ -71,6 +71,42 @@ func (v *Validator) sortPairs(m int, maxKey uint64) {
 	}
 }
 
+// radixSortRowsByRank stably sorts order (row ids, loaded ascending) by
+// ranks[row] with an LSD byte-radix over the int32 rank keys — the
+// cold-start path behind TableOrders: building a global per-attribute order
+// with a comparison sort dominated sorted-scan startup on wide tables. Ranks
+// are dense in [0, maxRank], so constant high bytes are skipped. Stability
+// over the ascending load order keeps ties in row order, exactly like the
+// comparison sort it replaces. Returns the sorted slice (which may be the
+// scratch buffer).
+func radixSortRowsByRank(order, tmp []int32, ranks []int32, maxRank int32) []int32 {
+	n := len(order)
+	src, dst := order, tmp
+	var cnt [256]int32
+	for shift := uint(0); shift < 32 && maxRank>>shift != 0; shift += 8 {
+		clear(cnt[:])
+		for _, row := range src {
+			cnt[uint8(ranks[row]>>shift)]++
+		}
+		if cnt[uint8(ranks[src[0]]>>shift)] == int32(n) {
+			continue // every key shares this digit: nothing to move
+		}
+		var sum int32
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = sum
+			sum += c
+		}
+		for _, row := range src {
+			d := uint8(ranks[row] >> shift)
+			dst[cnt[d]] = row
+			cnt[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
 // grow ensures the per-class scratch holds m tuples.
 func (v *Validator) grow(m int) {
 	if cap(v.kv) < m {

@@ -22,7 +22,10 @@ func NewTableOrders(tbl *dataset.Table) *TableOrders {
 }
 
 // Order returns rows sorted ascending by attribute a's ranks (ties by row
-// id), computing and caching it on first use.
+// id), computing and caching it on first use. Orders are built with a stable
+// LSD radix over the dense ranks (comparison sort below the usual cutoff),
+// cutting the cold-start cost on wide tables from O(cols · n log n) to
+// O(cols · n).
 func (to *TableOrders) Order(a int) []int32 {
 	if to.orders[a] != nil {
 		return to.orders[a]
@@ -33,7 +36,12 @@ func (to *TableOrders) Order(a int) []int32 {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.SliceStable(order, func(i, j int) bool { return ranks[order[i]] < ranks[order[j]] })
+	if n < radixCutoff {
+		sort.SliceStable(order, func(i, j int) bool { return ranks[order[i]] < ranks[order[j]] })
+	} else {
+		maxRank := int32(to.tbl.Column(a).NumDistinct() - 1)
+		order = radixSortRowsByRank(order, make([]int32, n), ranks, maxRank)
+	}
 	to.orders[a] = order
 	return order
 }

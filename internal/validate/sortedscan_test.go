@@ -2,6 +2,7 @@ package validate
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"aod/internal/dataset"
@@ -29,6 +30,71 @@ func TestTableOrdersSortedAndCached(t *testing.T) {
 	}
 	if &to.Order(0)[0] != &order[0] {
 		t.Error("order not cached")
+	}
+}
+
+// TestTableOrdersRadixEquivalence pins the radix-built global orders (the
+// cold-start path above the cutoff) against the comparison sort they
+// replaced, including heavy-tie rank distributions.
+func TestTableOrdersRadixEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, rows := range []int{radixCutoff, 100, 1000, 5000} {
+		b := dataset.NewBuilder()
+		for c := 0; c < 4; c++ {
+			vals := make([]int64, rows)
+			domain := []int{2, 10, 1000, 1 << 30}[c]
+			for i := range vals {
+				vals[i] = int64(rng.Intn(domain))
+			}
+			b.AddInts(string(rune('a'+c)), vals)
+		}
+		tbl, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		to := NewTableOrders(tbl)
+		for c := 0; c < 4; c++ {
+			got := to.Order(c)
+			ranks := tbl.Column(c).Ranks()
+			want := make([]int32, rows)
+			for i := range want {
+				want[i] = int32(i)
+			}
+			sort.SliceStable(want, func(i, j int) bool { return ranks[want[i]] < ranks[want[j]] })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("rows=%d col=%d: radix order diverges at %d: %d vs %d",
+						rows, c, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTableOrdersWide measures sorted-scan cold start on a wide table:
+// one global order per attribute, built with the LSD radix pass.
+func BenchmarkTableOrdersWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	const rows, cols = 20_000, 16
+	db := dataset.NewBuilder()
+	for c := 0; c < cols; c++ {
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1 << 20))
+		}
+		db.AddInts(string(rune('a'+c)), vals)
+	}
+	tbl, err := db.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		to := NewTableOrders(tbl)
+		for c := 0; c < cols; c++ {
+			to.Order(c)
+		}
 	}
 }
 

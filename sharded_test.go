@@ -1,0 +1,98 @@
+package aod
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestShardedReportByteIdentical pins the acceptance contract of the
+// distributed path at the facade: the sharded executor's serialized Report
+// is byte-identical to Discover's on every generated workload, and the
+// non-timing stats match.
+func TestShardedReportByteIdentical(t *testing.T) {
+	pool := LoopbackShardPool(3)
+	defer pool.Close()
+	workloads := map[string]*Dataset{
+		"table1":  Table1(),
+		"flight":  Flight(800, 8, 5),
+		"ncvoter": NCVoter(600, 6, 9),
+	}
+	options := []Options{
+		{Threshold: 0.10, IncludeOFDs: true},
+		{Threshold: 0.05, Algorithm: AlgorithmExact},
+		{Threshold: 0.10, Algorithm: AlgorithmIterative, IncludeOFDs: true},
+		{Threshold: 0.10, Bidirectional: true, CollectRemovalSets: true},
+	}
+	for name, ds := range workloads {
+		for _, opts := range options {
+			local, err := Discover(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := DiscoverSharded(ds, opts, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lb, sb bytes.Buffer
+			// Timing stats differ run to run, by design; zero them so the
+			// byte comparison covers everything else.
+			zeroTimes := func(r *Report) {
+				r.Stats.ValidationTime, r.Stats.PartitionTime, r.Stats.TotalTime = 0, 0, 0
+			}
+			zeroTimes(local)
+			zeroTimes(sharded)
+			if err := local.WriteJSON(&lb); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.WriteJSON(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(lb.Bytes(), sb.Bytes()) {
+				t.Errorf("%s %+v: sharded report differs from local:\nlocal:   %s\nsharded: %s",
+					name, opts, lb.String(), sb.String())
+			}
+		}
+	}
+}
+
+// TestShardedNilPoolFallsBack: a nil pool is plain local discovery.
+func TestShardedNilPoolFallsBack(t *testing.T) {
+	ds := Table1()
+	rep, err := DiscoverSharded(ds, Options{Threshold: 0.12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OCs) == 0 {
+		t.Error("nil-pool sharded discovery found nothing")
+	}
+}
+
+// TestShardedStreaming: the sharded path delivers the same per-level
+// progress contract as the local one.
+func TestShardedStreaming(t *testing.T) {
+	pool := LoopbackShardPool(2)
+	defer pool.Close()
+	ds := Flight(500, 7, 3)
+	var events []Progress
+	rep, err := DiscoverShardedStreamContext(context.Background(), ds, Options{Threshold: 0.1}, pool,
+		func(p Progress, partial *Report) {
+			events = append(events, p)
+			if partial == nil {
+				t.Error("nil partial report")
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events from sharded stream")
+	}
+	last := events[len(events)-1]
+	if !last.Final {
+		t.Error("last sharded progress event not Final")
+	}
+	if last.OCsFound != len(rep.OCs) {
+		t.Errorf("final event reports %d OCs, report has %d", last.OCsFound, len(rep.OCs))
+	}
+}
