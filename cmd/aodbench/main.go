@@ -6,6 +6,7 @@
 //
 //	aodbench [-exp all|1|2|3|4|5|6] [-scale tiny|small|paper] [-seed N] [-out FILE]
 //	aodbench -json BENCH_5.json [-seed N] [-baseline BENCH_4.json] [-tolerance 0.20]
+//	         [-percentiles N]
 //
 // Examples:
 //
@@ -20,6 +21,9 @@
 // With -baseline the fresh snapshot is additionally diffed against a prior
 // one: any named workload whose ns/op regressed by more than -tolerance
 // (default 20%) fails the run with exit status 1 — the CI perf gate.
+// With -percentiles N each workload is measured N times and the snapshot
+// records p50/p99 ns/op across runs (nsPerOp becomes the median, so the
+// -baseline gate still applies, just with less noise).
 package main
 
 import (
@@ -40,10 +44,15 @@ func main() {
 	jsonOut := flag.String("json", "", "measure the named perf workloads and write machine-readable results to this file (BENCH_<n>.json)")
 	baseline := flag.String("baseline", "", "with -json: prior BENCH_<n>.json to gate against; ns/op regressions past -tolerance fail with exit 1")
 	tolerance := flag.Float64("tolerance", 0.20, "with -baseline: allowed fractional ns/op regression per workload")
+	percentiles := flag.Int("percentiles", 0, "with -json: measure each workload N times and report p50/p99 ns/op across runs (0 = single measurement)")
 	flag.Parse()
 
 	if *baseline != "" && *jsonOut == "" {
 		fmt.Fprintln(os.Stderr, "aodbench: -baseline requires -json")
+		os.Exit(2)
+	}
+	if *percentiles > 0 && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "aodbench: -percentiles requires -json")
 		os.Exit(2)
 	}
 	if *jsonOut != "" {
@@ -54,7 +63,7 @@ func main() {
 		}
 		fmt.Printf("aodbench -json — seed=%d started=%s\n", *seed, time.Now().Format(time.RFC3339))
 		start := time.Now()
-		err = bench.RunJSON(f, os.Stdout, *seed)
+		err = bench.RunJSONPercentiles(f, os.Stdout, *seed, *percentiles)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

@@ -5,7 +5,7 @@
 //
 //	aodiscover [-threshold 0.1] [-algorithm optimal|exact|iterative]
 //	           [-max-level N] [-ofds] [-removals] [-max-rows N]
-//	           [-columns a,b,c] [-top N] [-json] file.csv
+//	           [-columns a,b,c] [-top N] [-json] [-trace] file.csv
 //
 // Example:
 //
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"aod"
+	"aod/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 	bidirectional := flag.Bool("bidirectional", false, "also search mixed-direction OCs (A ∼ B↓)")
 	parallelism := flag.Int("parallelism", 0, "validate each lattice level across N workers (0 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (the same stable schema the aodserver API returns)")
+	traceOut := flag.Bool("trace", false, "print a per-stage timing breakdown (partition build, each lattice level) to stderr after discovery")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -62,7 +65,19 @@ func main() {
 		fmt.Printf("loaded %s\n", ds)
 	}
 
-	rep, err := aod.Discover(ds, aod.Options{
+	// -trace records the discovery stages (partition build, each lattice
+	// level) as spans and prints the tree once the run finishes. The trace
+	// rides the context, so the plain Discover path stays untouched.
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	var rootSpan *telemetry.ActiveSpan
+	if *traceOut {
+		tr = telemetry.NewTrace("aodiscover")
+		rootSpan = tr.Start(0, "discover")
+		ctx = telemetry.NewContext(ctx, tr, rootSpan.ID())
+	}
+
+	rep, err := aod.DiscoverStreamContext(ctx, ds, aod.Options{
 		Threshold:          *threshold,
 		Algorithm:          alg,
 		MaxLevel:           *maxLevel,
@@ -71,10 +86,14 @@ func main() {
 		TimeLimit:          *timeLimit,
 		Bidirectional:      *bidirectional,
 		Parallelism:        *parallelism,
-	})
+	}, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aodiscover:", err)
 		os.Exit(1)
+	}
+	if *traceOut {
+		rootSpan.End()
+		tr.WriteText(os.Stderr)
 	}
 
 	// -top truncation is shared by both output formats.

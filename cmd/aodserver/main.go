@@ -9,7 +9,7 @@
 //	aodserver [-addr :8711] [-workers N | -workers host:port,...] [-queue N]
 //	          [-cache N] [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
 //	          [-data-dir DIR] [-max-report-bytes N] [-max-queue-wait D]
-//	          [-straggler-after D]
+//	          [-straggler-after D] [-pprof-addr ADDR]
 //
 // -workers accepts either an integer (local discovery worker-pool size, the
 // default GOMAXPROCS) or a comma-separated list of aodworker addresses: then
@@ -42,9 +42,14 @@
 //	GET    /jobs            list jobs
 //	GET    /jobs/{id}       job status; partial report while running, report once done
 //	GET    /jobs/{id}/stream NDJSON stream of per-level progress events
+//	GET    /jobs/{id}/trace  the job's span tree (queue wait, stages, per-level, shard RPCs)
 //	DELETE /jobs/{id}       cancel a job
 //	GET    /healthz         liveness probe
 //	GET    /stats           counters (jobs, cache hits/misses, in-flight, ...)
+//	GET    /metrics         Prometheus text exposition (latency histograms included)
+//
+// With -pprof-addr the runtime profiles (CPU, heap, goroutine, ...) are
+// served on a second, private listener at /debug/pprof/.
 package main
 
 import (
@@ -54,6 +59,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -79,6 +85,7 @@ func main() {
 	maxReportBytes := flag.Int64("max-report-bytes", 0, "report-store disk budget in bytes; least recently used reports are evicted past it (0 = unbounded; needs -data-dir)")
 	straggler := flag.Duration("straggler-after", 15*time.Second, "re-dispatch a shard slice not answered after this long (sharded mode; negative disables)")
 	maxQueueWait := flag.Duration("max-queue-wait", time.Minute, "age bound for cost-ordered scheduling: a job queued this long runs next regardless of size (negative disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	flag.Parse()
 
 	// -workers is polymorphic: "-workers 4" sizes the local pool (the
@@ -122,6 +129,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aodserver: -max-report-bytes requires -data-dir")
 		os.Exit(2)
 	}
+	// One registry serves GET /metrics for both the job service (aod_jobs_*,
+	// aod_job_seconds, ...) and the shard pool (aod_shard_*).
+	metrics := aod.NewMetricsRegistry()
 	var pool *aod.ShardPool
 	if len(shardAddrs) > 0 {
 		pool = aod.DialShardPool(shardAddrs, aod.ShardPoolOptions{
@@ -129,6 +139,7 @@ func main() {
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "aodserver: "+format+"\n", args...)
 			},
+			Metrics: metrics,
 		})
 		defer pool.Close()
 	}
@@ -141,8 +152,19 @@ func main() {
 		MaxQueueWait:  *maxQueueWait,
 		Store:         st,
 		ShardPool:     pool,
+		Metrics:       metrics,
 	})
 	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aodserver: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("aodserver pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = http.Serve(pln, pprofMux()) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -183,4 +205,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// pprofMux exposes the runtime profiles on a dedicated mux rather than
+// http.DefaultServeMux, so nothing else ever leaks onto the pprof port.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

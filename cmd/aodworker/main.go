@@ -9,16 +9,26 @@
 // Usage:
 //
 //	aodworker [-addr :8712] [-max-datasets N] [-quiet]
+//	          [-metrics-addr ADDR] [-pprof-addr ADDR]
+//
+// -metrics-addr serves GET /metrics (Prometheus text: sessions, task and
+// level counts, slice execution latency histogram, dataset-cache state) on a
+// separate HTTP listener; -pprof-addr serves the runtime profiles at
+// /debug/pprof/. Both are off by default and should stay on private
+// interfaces.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"aod"
 	"aod/internal/shard"
 )
 
@@ -26,13 +36,48 @@ func main() {
 	addr := flag.String("addr", ":8712", "listen address (host:port; port 0 picks an ephemeral port)")
 	maxDatasets := flag.Int("max-datasets", 16, "prepared-dataset cache bound (least recently used evicted; negative = unbounded)")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) on this address (empty disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	flag.Parse()
 
 	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 	if *quiet {
 		logf = nil
 	}
-	w := shard.NewWorker(shard.WorkerOptions{MaxDatasets: *maxDatasets, Logf: logf})
+	metrics := aod.NewMetricsRegistry()
+	w := shard.NewWorker(shard.WorkerOptions{MaxDatasets: *maxDatasets, Logf: logf, Metrics: metrics})
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aodworker: metrics:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = metrics.WritePrometheus(rw)
+		})
+		fmt.Printf("aodworker metrics on http://%s/metrics\n", mln.Addr())
+		go func() { _ = http.Serve(mln, mux) }()
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aodworker: pprof:", err)
+			os.Exit(1)
+		}
+		// A dedicated mux rather than http.DefaultServeMux, so nothing else
+		// ever leaks onto the pprof port.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("aodworker pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = http.Serve(pln, mux) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

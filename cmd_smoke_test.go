@@ -535,3 +535,216 @@ func TestShardedWorkersBinaryE2E(t *testing.T) {
 		t.Error("the SIGKILLed worker's failures never surfaced in /stats")
 	}
 }
+
+// startWithEndpoints launches a binary and scans its startup banner for the
+// main listen address plus any "metrics on http://..." / "pprof on http://..."
+// side listeners, returning (mainAddr, metricsURL, pprofURL).
+func startWithEndpoints(t *testing.T, bin string, args ...string) (string, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	var mainAddr, metricsURL, pprofURL string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) >= 4 && fields[1] == "metrics":
+			metricsURL = fields[3] // ... metrics on http://HOST:PORT/metrics
+		case len(fields) >= 4 && fields[1] == "pprof":
+			pprofURL = fields[3] // ... pprof on http://HOST:PORT/debug/pprof/
+		case len(fields) >= 4 && fields[1] == "listening":
+			mainAddr = fields[3]
+		}
+		if mainAddr != "" {
+			break // the listening line is always printed last
+		}
+	}
+	if mainAddr == "" {
+		t.Fatalf("%s never announced its listen address", bin)
+	}
+	go io.Copy(io.Discard, stdout)
+	return mainAddr, metricsURL, pprofURL
+}
+
+// httpGet fetches a URL and returns (status, body).
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestTelemetryBinaryE2E boots a real aodworker (with -metrics-addr and
+// -pprof-addr) and an aodserver (with -pprof-addr) sharding across it, runs a
+// job, and curls every observability surface: /metrics on both processes,
+// /jobs/{id}/trace with the worker's spans stitched in, and /debug/pprof/ on
+// both side listeners.
+func TestTelemetryBinaryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	serverBin := buildAODServer(t, dir)
+	workerBin := filepath.Join(dir, "aodworker")
+	if msg, err := exec.Command(goBin, "build", "-o", workerBin, "./cmd/aodworker").CombinedOutput(); err != nil {
+		t.Fatalf("building aodworker: %v\n%s", err, msg)
+	}
+
+	workerAddr, workerMetrics, workerPprof := startWithEndpoints(t, workerBin,
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0")
+	serverAddr, _, serverPprof := startWithEndpoints(t, serverBin,
+		"-addr", "127.0.0.1:0", "-workers", workerAddr, "-pprof-addr", "127.0.0.1:0")
+	base := "http://" + serverAddr
+
+	// Multi-level dataset so the job actually exercises the sharded path.
+	ds := Flight(2000, 8, 11)
+	var csv strings.Builder
+	if err := ds.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/datasets?name=telemetry", "text/csv", strings.NewReader(csv.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body := fmt.Sprintf(`{"datasetId": %q, "options": {"threshold": 0.1, "includeOFDs": true}}`, info.ID)
+	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", job.ID)
+		}
+		var jv map[string]any
+		if _, raw := httpGet(t, base+"/jobs/"+job.ID); json.Unmarshal([]byte(raw), &jv) == nil {
+			if jv["state"] == "done" {
+				break
+			}
+			if jv["state"] == "failed" || jv["state"] == "canceled" {
+				t.Fatalf("job %s: %v", job.ID, jv)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Server /metrics: service families and (sharded) pool families.
+	code, met := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("server /metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE aod_jobs_submitted_total counter",
+		"# TYPE aod_job_seconds histogram",
+		"aod_jobs_done_total 1",
+		"aod_shard_rpc_seconds_count",
+	} {
+		if !strings.Contains(met, want) {
+			t.Errorf("server /metrics missing %q", want)
+		}
+	}
+
+	// Worker /metrics on its own listener.
+	code, met = httpGet(t, workerMetrics)
+	if code != 200 {
+		t.Fatalf("worker /metrics status %d", code)
+	}
+	for _, want := range []string{"aodworker_sessions_total 1", "aodworker_tasks_total", "aodworker_slice_exec_seconds_count"} {
+		if !strings.Contains(met, want) {
+			t.Errorf("worker /metrics missing %q in:\n%s", want, met)
+		}
+	}
+
+	// Job trace: the span tree must include the worker's remote spans
+	// stitched under the coordinator's rpc spans.
+	code, raw := httpGet(t, base+"/jobs/"+job.ID+"/trace")
+	if code != 200 {
+		t.Fatalf("/jobs/%s/trace status %d", job.ID, code)
+	}
+	type node struct {
+		Name     string  `json:"name"`
+		Remote   bool    `json:"remote,omitempty"`
+		Children []*node `json:"children,omitempty"`
+	}
+	var tree struct {
+		TraceID string  `json:"traceId"`
+		Spans   []*node `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(raw), &tree); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if tree.TraceID != job.ID {
+		t.Errorf("trace id %q, want %q", tree.TraceID, job.ID)
+	}
+	names := map[string]int{}
+	remoteExecs := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		names[n.Name]++
+		if n.Name == "worker-exec" && n.Remote {
+			remoteExecs++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range tree.Spans {
+		walk(n)
+	}
+	for _, want := range []string{"job", "queue-wait", "discover", "partition-build", "level", "rpc"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span; got %v", want, names)
+		}
+	}
+	if remoteExecs == 0 {
+		t.Errorf("no remote worker-exec spans stitched into the trace; got %v", names)
+	}
+
+	// pprof on both processes.
+	for _, url := range []string{serverPprof, workerPprof} {
+		if url == "" {
+			t.Fatal("pprof listener not announced")
+		}
+		if code, body := httpGet(t, url); code != 200 || !strings.Contains(body, "goroutine") {
+			t.Errorf("GET %s: status %d", url, code)
+		}
+	}
+}

@@ -292,6 +292,12 @@ type Progress struct {
 	// Both can overestimate: early termination skips everything left.
 	NodesRemaining     int64 `json:"nodesRemaining"`
 	EstimatedRemaining int64 `json:"estimatedRemaining"`
+	// LevelTime is the wall-clock time the completed level took;
+	// LevelValidation and LevelPartition are the slices of it spent inside
+	// validators and building partitions. JSON: integer nanoseconds.
+	LevelTime       time.Duration `json:"levelTimeNs,omitempty"`
+	LevelValidation time.Duration `json:"levelValidationNs,omitempty"`
+	LevelPartition  time.Duration `json:"levelPartitionNs,omitempty"`
 	// Final marks the run's last event.
 	Final bool `json:"final,omitempty"`
 }
@@ -341,6 +347,9 @@ func discoverStreamExec(ctx context.Context, d *Dataset, opts Options, exec core
 				OFDsFound:          s.Stats.OFDsFound(),
 				NodesRemaining:     s.NodesRemaining,
 				EstimatedRemaining: s.EstimatedRemaining,
+				LevelTime:          s.LevelTime,
+				LevelValidation:    s.LevelValidation,
+				LevelPartition:     s.LevelPartition,
 				Final:              s.Final,
 			}, buildReport(names, partial))
 		}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"aod/internal/telemetry"
+)
+
+// TestTracedDiscoveryOverheadGuard measures the telemetry tax directly: the
+// discover-traced workload (active trace on the context, per-level spans
+// recorded) against the plain discover-ncvoter workload, same dataset, same
+// process, interleaved runs. The budget is ≤2% median overhead; the gate
+// allows 5% to absorb CI-runner noise. Opt-in via AOD_BENCH_GUARD=1 — the
+// run takes tens of seconds, far too slow for the ordinary test suite.
+func TestTracedDiscoveryOverheadGuard(t *testing.T) {
+	if os.Getenv("AOD_BENCH_GUARD") == "" {
+		t.Skip("set AOD_BENCH_GUARD=1 to run the telemetry overhead guard")
+	}
+	var plain, traced func(b *testing.B)
+	for _, wl := range jsonWorkloads(42) {
+		switch wl.name {
+		case "discover-ncvoter/n=5000,attrs=10":
+			plain = wl.fn
+		case "discover-traced/n=5000,attrs=10":
+			traced = wl.fn
+		}
+	}
+	if plain == nil || traced == nil {
+		t.Fatal("guard workloads missing from jsonWorkloads")
+	}
+
+	const runs = 5
+	nsOf := func(fn func(b *testing.B)) float64 {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			t.Fatal("benchmark run failed")
+		}
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	plainNs := make([]float64, 0, runs)
+	tracedNs := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ { // interleaved, so drift hits both sides alike
+		plainNs = append(plainNs, nsOf(plain))
+		tracedNs = append(tracedNs, nsOf(traced))
+	}
+	p50Plain := telemetry.ExactQuantile(plainNs, 0.50)
+	p50Traced := telemetry.ExactQuantile(tracedNs, 0.50)
+	overhead := p50Traced/p50Plain - 1
+	t.Logf("traced %.1fms vs plain %.1fms: %+.2f%% overhead (budget 2%%, gate 5%%)",
+		p50Traced/1e6, p50Plain/1e6, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("telemetry overhead %.2f%% exceeds the 5%% gate (budget is 2%%)", overhead*100)
+	}
+}

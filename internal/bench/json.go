@@ -13,6 +13,7 @@ import (
 	"aod/internal/gen"
 	"aod/internal/partition"
 	"aod/internal/shard"
+	"aod/internal/telemetry"
 	"aod/internal/validate"
 )
 
@@ -33,6 +34,13 @@ type JSONResult struct {
 	NsPerOp     float64 `json:"nsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
+	// Runs, P50NsPerOp and P99NsPerOp appear only in -percentiles snapshots:
+	// the workload is measured Runs times and the ns/op quantiles are taken
+	// across those runs (NsPerOp is then the median, keeping -baseline
+	// comparisons meaningful against single-run snapshots).
+	Runs       int     `json:"runs,omitempty"`
+	P50NsPerOp float64 `json:"p50NsPerOp,omitempty"`
+	P99NsPerOp float64 `json:"p99NsPerOp,omitempty"`
 }
 
 // JSONReport is the file-level envelope.
@@ -128,6 +136,23 @@ func jsonWorkloads(seed int64) []struct {
 				}
 			}
 		}},
+		{"discover-traced/n=5000,attrs=10", func(b *testing.B) {
+			// Same workload as discover-ncvoter but with an active trace on
+			// the context, so every run records partition-build and per-level
+			// spans. The gap between this trajectory and discover-ncvoter's IS
+			// the telemetry overhead — the CI gate holds it within the normal
+			// regression tolerance.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := telemetry.NewTrace("bench")
+				root := tr.Start(0, "discover")
+				ctx := telemetry.NewContext(context.Background(), tr, root.ID())
+				if _, err := (core.Pipeline{}).Run(ctx, ncv5k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}); err != nil {
+					b.Fatal(err)
+				}
+				root.End()
+			}
+		}},
 		{"discover-pool/n=5000,attrs=10", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -168,6 +193,18 @@ func jsonWorkloads(seed int64) []struct {
 // RunJSON measures the named workloads and writes a JSONReport to w. Results
 // also stream to log as they complete.
 func RunJSON(w io.Writer, log io.Writer, seed int64) error {
+	return RunJSONPercentiles(w, log, seed, 1)
+}
+
+// RunJSONPercentiles is RunJSON with each workload measured runs times: the
+// recorded NsPerOp is the median across runs (noise-resistant, and still
+// comparable against single-run snapshots under -baseline), and P50NsPerOp /
+// P99NsPerOp capture the run-to-run latency spread. runs ≤ 1 degenerates to
+// the plain single-measurement snapshot.
+func RunJSONPercentiles(w io.Writer, log io.Writer, seed int64, runs int) error {
+	if runs < 1 {
+		runs = 1
+	}
 	rep := JSONReport{
 		Schema:      JSONSchema,
 		GeneratedAt: time.Now().UTC().Truncate(time.Second),
@@ -176,18 +213,32 @@ func RunJSON(w io.Writer, log io.Writer, seed int64) error {
 		Seed:        seed,
 	}
 	for _, wl := range jsonWorkloads(seed) {
-		r := testing.Benchmark(wl.fn)
-		if r.N == 0 {
-			// A failed workload (b.Fatal) yields a zero BenchmarkResult;
-			// recording it would poison the trajectory with fake zeros.
-			return fmt.Errorf("bench: workload %q failed", wl.name)
+		samples := make([]float64, 0, runs)
+		var jr JSONResult
+		for i := 0; i < runs; i++ {
+			r := testing.Benchmark(wl.fn)
+			if r.N == 0 {
+				// A failed workload (b.Fatal) yields a zero BenchmarkResult;
+				// recording it would poison the trajectory with fake zeros.
+				return fmt.Errorf("bench: workload %q failed", wl.name)
+			}
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			samples = append(samples, nsPerOp)
+			if i == 0 {
+				jr = JSONResult{
+					Name:        wl.name,
+					Iterations:  r.N,
+					NsPerOp:     nsPerOp,
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+				}
+			}
 		}
-		jr := JSONResult{
-			Name:        wl.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+		if runs > 1 {
+			jr.Runs = runs
+			jr.P50NsPerOp = telemetry.ExactQuantile(samples, 0.50)
+			jr.P99NsPerOp = telemetry.ExactQuantile(samples, 0.99)
+			jr.NsPerOp = jr.P50NsPerOp
 		}
 		rep.Results = append(rep.Results, jr)
 		if log != nil {
@@ -200,6 +251,12 @@ func RunJSON(w io.Writer, log io.Writer, seed int64) error {
 }
 
 func writeJSONLine(log io.Writer, r JSONResult) {
+	if r.Runs > 1 {
+		fmt.Fprintf(log, "  %s: p50 %s/op, p99 %s/op over %d runs, %d allocs/op\n",
+			r.Name, fmtDur(time.Duration(r.P50NsPerOp)), fmtDur(time.Duration(r.P99NsPerOp)),
+			r.Runs, r.AllocsPerOp)
+		return
+	}
 	fmt.Fprintf(log, "  %s: %s/op, %d allocs/op\n",
 		r.Name, fmtDur(time.Duration(r.NsPerOp)), r.AllocsPerOp)
 }

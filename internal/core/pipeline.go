@@ -7,6 +7,7 @@ import (
 	"aod/internal/dataset"
 	"aod/internal/lattice"
 	"aod/internal/partition"
+	"aod/internal/telemetry"
 	"aod/internal/validate"
 )
 
@@ -40,6 +41,13 @@ type Snapshot struct {
 	// rows × attrs × remaining levels — the cost currency the service's
 	// size-aware job scheduler trades in.
 	EstimatedRemaining int64
+	// LevelTime is the wall-clock time the just-completed level took
+	// (planning + validation + merging); LevelValidation and LevelPartition
+	// are the slices of it spent inside validators and materializing
+	// partitions — this level's deltas of the cumulative Stats counters.
+	LevelTime       time.Duration
+	LevelValidation time.Duration
+	LevelPartition  time.Duration
 	// Final marks the run's last snapshot: the traversal is about to return
 	// (lattice exhausted, early-stopped, level bound reached, or aborted by
 	// timeout/cancellation).
@@ -105,6 +113,18 @@ type traversal struct {
 	start    time.Time
 	deadline time.Time
 	res      *Result
+
+	// trace is the job's span trace (nil when the caller's context carries
+	// none — every recording below is then a no-op). levelSpan is the span of
+	// the level currently being validated; sharded executors parent their
+	// per-slice RPC spans under it. lastValid/lastPart remember the
+	// cumulative Stats counters at the previous level boundary so snapshots
+	// report per-level deltas.
+	trace     *telemetry.Trace
+	traceRoot telemetry.SpanID
+	levelSpan *telemetry.ActiveSpan
+	lastValid time.Duration
+	lastPart  time.Duration
 }
 
 // abortedInto reports that the run must stop — the TimeLimit deadline passed
@@ -125,7 +145,7 @@ func (t *traversal) abortedInto(st *Stats) bool {
 
 // snapshot builds the immutable per-level Snapshot for the just-completed
 // level.
-func (t *traversal) snapshot(lvl *lattice.Level, candidates int, final bool) Snapshot {
+func (t *traversal) snapshot(lvl *lattice.Level, candidates int, levelTime time.Duration, final bool) Snapshot {
 	st := t.res.Stats
 	st.OCsFoundPerLevel = append([]int(nil), st.OCsFoundPerLevel...)
 	st.OFDsFoundPerLevel = append([]int(nil), st.OFDsFoundPerLevel...)
@@ -134,6 +154,9 @@ func (t *traversal) snapshot(lvl *lattice.Level, candidates int, final bool) Sna
 	if final {
 		remaining = 0
 	}
+	levelValid := st.ValidationTime - t.lastValid
+	levelPart := st.PartitionTime - t.lastPart
+	t.lastValid, t.lastPart = st.ValidationTime, st.PartitionTime
 	return Snapshot{
 		Level:              lvl.Number,
 		MaxLevel:           t.maxLevel,
@@ -144,6 +167,9 @@ func (t *traversal) snapshot(lvl *lattice.Level, candidates int, final bool) Sna
 		Stats:              st,
 		NodesRemaining:     lattice.RemainingNodes(t.numAttrs, lvl.Number, t.maxLevel),
 		EstimatedRemaining: EstimateCost(t.tbl.NumRows(), t.numAttrs, remaining),
+		LevelTime:          levelTime,
+		LevelValidation:    levelValid,
+		LevelPartition:     levelPart,
 		Final:              final,
 	}
 }
@@ -182,6 +208,7 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxLevel {
 		maxLevel = cfg.MaxLevel
 	}
+	trace, traceParent := telemetry.FromContext(ctx)
 	t := &traversal{
 		ctx:      ctx,
 		tbl:      tbl,
@@ -192,7 +219,9 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 		arena:    partition.NewArena(),
 		start:    time.Now(),
 		res:      &Result{},
+		trace:    trace,
 	}
+	t.traceRoot = traceParent
 	st := &t.res.Stats
 	st.Rows = tbl.NumRows()
 	st.Attrs = numAttrs
@@ -206,7 +235,10 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 	// inside prepare keeps cancellation from paying for the whole
 	// O(cols · rows log rows) partitioning phase on large tables.
 	t0 := time.Now()
+	prepSpan := trace.Start(traceParent, "partition-build")
 	ok := exec.prepare(t)
+	prepSpan.Attr("attrs", int64(numAttrs))
+	prepSpan.End()
 	st.PartitionTime += time.Since(t0)
 	if !ok {
 		st.TotalTime = time.Since(t.start)
@@ -218,14 +250,21 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 	cur := lattice.Level1(l0, tbl, t.singles)
 	for {
 		st.LevelsProcessed++
+		lvlStart := time.Now()
+		t.levelSpan = trace.Start(traceParent, "level")
+		t.levelSpan.SetLabel("level %d", cur.Number)
 		candidates := exec.runLevel(t, cur, prev, prev2)
+		t.levelSpan.Attr("nodes", int64(len(cur.Nodes)))
+		t.levelSpan.Attr("candidates", int64(candidates))
+		t.levelSpan.End()
+		levelTime := time.Since(lvlStart)
 		aborted := st.TimedOut || st.Canceled
 		if !aborted && candidates == 0 {
 			st.EarlyStopped = cur.Number < maxLevel
 		}
 		last := aborted || candidates == 0 || cur.Number == maxLevel
 		if p.Sink != nil {
-			p.Sink(t.snapshot(cur, candidates, last))
+			p.Sink(t.snapshot(cur, candidates, levelTime, last))
 		}
 		if last {
 			break

@@ -72,6 +72,12 @@ func (p *PreparedTable) NewTaskRunner(cfg Config) (*TaskRunner, error) {
 	return r, nil
 }
 
+// PartitionCacheStats returns the runner's partition-cache hit and fresh
+// build counts so far (hits include generation carry-overs).
+func (r *TaskRunner) PartitionCacheStats() (hits, builds uint64) {
+	return r.src.hits, r.src.builds
+}
+
 // RunLevel executes one slice of a lattice level in task order. The context
 // bounds the work: when it is canceled (the coordinator gave up on this
 // shard), the remaining tasks are skipped and the partial results are
@@ -98,6 +104,9 @@ type foldSource struct {
 	r          *TaskRunner
 	memo, prev map[lattice.AttrSet]*partition.Stripped
 	universe   *partition.Stripped
+	// hits counts memoized (or generation-carried) partition lookups; builds
+	// counts fresh arena products — the worker's partition-cache telemetry.
+	hits, builds uint64
 }
 
 // rotate opens a new level generation: the current memo becomes the previous
@@ -122,11 +131,13 @@ func (s *foldSource) partitionOf(set lattice.AttrSet, st *TaskStats) *partition.
 		return s.r.t.singles[set.Min()]
 	}
 	if p, ok := s.memo[set]; ok {
+		s.hits++
 		return p
 	}
 	if p, ok := s.prev[set]; ok {
 		// Carry the partition into the live generation (and out of the next
 		// rotation's recycle sweep).
+		s.hits++
 		s.memo[set] = p
 		delete(s.prev, set)
 		return p
@@ -145,6 +156,7 @@ func (s *foldSource) partitionOf(set lattice.AttrSet, st *TaskStats) *partition.
 	t0 := time.Now()
 	p := s.r.t.arena.Product(p0, p1)
 	st.PartitionTime += time.Since(t0)
+	s.builds++
 	s.memo[set] = p
 	return p
 }

@@ -7,6 +7,7 @@ import (
 
 	"aod/internal/dataset"
 	"aod/internal/lattice"
+	"aod/internal/telemetry"
 	"aod/internal/validate"
 )
 
@@ -113,6 +114,9 @@ func (x *shardedExecutor) runLevel(t *traversal, cur, prev, prev2 *lattice.Level
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Per-slice RPC spans parent under the current level's span, so a trace
+	// shows each slice's round trips (and worker-side spans) per level.
+	ctx = telemetry.NewContext(ctx, t.trace, t.levelSpan.ID())
 	var wg sync.WaitGroup
 	for shard := 0; shard < width; shard++ {
 		lo, hi := sliceBounds(len(tasks), width, shard)

@@ -44,9 +44,11 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /jobs", h.listJobs)
 	mux.HandleFunc("GET /jobs/{id}", h.getJob)
 	mux.HandleFunc("GET /jobs/{id}/stream", h.streamJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", h.traceJob)
 	mux.HandleFunc("DELETE /jobs/{id}", h.deleteJob)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
 }
 
@@ -222,6 +224,25 @@ func (h *handler) streamJob(w http.ResponseWriter, r *http.Request) {
 			return // client disconnected mid-stream
 		}
 	}
+}
+
+// traceJob serves GET /jobs/{id}/trace: the job's span tree as JSON —
+// queue wait, cache lookup, dataset load, partition build, per-level
+// validation, and (under a shard pool) per-slice RPCs with the workers' own
+// spans stitched beneath them.
+func (h *handler) traceJob(w http.ResponseWriter, r *http.Request) {
+	tree, err := h.svc.JobTrace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tree)
+}
+
+// metrics serves GET /metrics in the Prometheus text exposition format.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.svc.Metrics().WritePrometheus(w)
 }
 
 func (h *handler) deleteJob(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aod"
+	"aod/internal/telemetry"
 )
 
 // JobState is the lifecycle state of a discovery job.
@@ -61,6 +62,14 @@ type Job struct {
 	// the job is queued (-1 otherwise).
 	seq     uint64
 	heapIdx int
+	// trace records the job's span tree (GET /jobs/{id}/trace); rootSpan is
+	// the job-lifetime span, queueSpan covers admission → worker pickup.
+	// initialCost is the admission work estimate, frozen for latency
+	// classification (j.cost is refined downward while running).
+	trace       *telemetry.Trace
+	rootSpan    *telemetry.ActiveSpan
+	queueSpan   *telemetry.ActiveSpan
+	initialCost int64
 
 	mu       sync.Mutex
 	state    JobState
@@ -209,6 +218,15 @@ func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
 	s.nextID++
 	j.id = fmt.Sprintf("job-%d", s.nextID)
 	j.seq = s.nextID
+	j.initialCost = j.cost
+	j.trace = telemetry.NewTrace(j.id)
+	j.rootSpan = j.trace.Start(0, "job")
+	j.queueSpan = j.trace.StartUnder(j.rootSpan, "queue-wait")
+	// Incremented before the queue push makes the job runnable: a worker can
+	// otherwise complete the job (incrementing the done counter) before the
+	// submitted counter moves, and a concurrent Stats() snapshot would count
+	// more terminal jobs than submitted ones.
+	s.met.jobsSubmitted.Inc()
 	s.pending.push(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -216,7 +234,6 @@ func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
 	s.notEmpty.Signal()
 	s.mu.Unlock()
 
-	s.jobsSubmitted.Add(1)
 	return j.view(false), nil
 }
 
@@ -299,7 +316,8 @@ func (s *Service) Cancel(id string) (JobView, error) {
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
 		j.closeSubsLocked()
-		s.jobsCanceled.Add(1)
+		s.met.jobsCanceled.Inc()
+		j.endSpansLocked()
 		j.mu.Unlock()
 		// Remove the job from the pending queue immediately so canceled
 		// jobs free their slot (and stop exerting backpressure) without
@@ -313,7 +331,8 @@ func (s *Service) Cancel(id string) (JobView, error) {
 		j.state = JobCanceled
 		j.finished = time.Now().UTC()
 		j.closeSubsLocked()
-		s.jobsCanceled.Add(1)
+		s.met.jobsCanceled.Inc()
+		j.endSpansLocked()
 		j.mu.Unlock()
 	default:
 		j.mu.Unlock()
@@ -345,6 +364,27 @@ func (s *Service) worker() {
 // finalize it in settleWaiter.
 var errParked = errors.New("service: job parked on in-flight run")
 
+// endSpansLocked closes the job's queue and root spans at a terminal
+// transition (idempotent — End is once-only). Caller holds j.mu.
+func (j *Job) endSpansLocked() {
+	j.queueSpan.End()
+	j.rootSpan.End()
+}
+
+// observeJobLatency records the job's end-to-end latency in the class
+// histogram: cache hits separately from validation runs, which split into
+// small and large by the admission cost estimate.
+func (s *Service) observeJobLatency(j *Job, cacheHit bool, d time.Duration) {
+	switch {
+	case cacheHit:
+		s.met.latCacheHit.Observe(d)
+	case j.initialCost < smallJobCost:
+		s.met.latSmall.Observe(d)
+	default:
+		s.met.latLarge.Observe(d)
+	}
+}
+
 // runJob drives one job through running to a terminal state.
 func (s *Service) runJob(j *Job) {
 	j.mu.Lock()
@@ -354,11 +394,13 @@ func (s *Service) runJob(j *Job) {
 	}
 	j.state = JobRunning
 	j.started = time.Now().UTC()
+	s.met.queueWait.Observe(j.started.Sub(j.created))
+	j.queueSpan.End()
 	j.mu.Unlock()
 
-	s.inFlight.Add(1)
+	s.met.inFlight.Add(1)
 	rep, fromCache, err := s.compute(j)
-	s.inFlight.Add(-1)
+	s.met.inFlight.Add(-1)
 	if err == errParked {
 		return // the worker is free; the flight leader finalizes the job
 	}
@@ -371,18 +413,20 @@ func (s *Service) runJob(j *Job) {
 		// cache/flight hit that raced the cancel still cancels — the user's
 		// intent wins over the free result.)
 		j.state = JobCanceled
-		s.jobsCanceled.Add(1)
+		s.met.jobsCanceled.Inc()
 	case err != nil:
 		j.state = JobFailed
 		j.err = err
-		s.jobsFailed.Add(1)
+		s.met.jobsFailed.Inc()
 	default:
 		j.state = JobDone
 		j.report = rep
 		j.cacheHit = fromCache
-		s.jobsDone.Add(1)
+		s.met.jobsDone.Inc()
+		s.observeJobLatency(j, fromCache, j.finished.Sub(j.created))
 	}
 	j.closeSubsLocked()
+	j.endSpansLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 }
@@ -410,11 +454,17 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	// alone, so a hit — memory or persisted report store — is served
 	// without paging the (possibly disk-evicted, possibly even corrupt)
 	// dataset payload into memory at all.
-	if rep, ok := s.cache.get(j.key); ok {
-		s.cacheHits.Add(1)
+	lookup := j.trace.StartUnder(j.rootSpan, "cache-lookup")
+	rep, ok := s.cache.get(j.key)
+	lookup.Attr("hit", boolAttr(ok))
+	lookup.End()
+	if ok {
+		s.met.cacheHits.Inc()
 		return rep, true, nil
 	}
+	load := j.trace.StartUnder(j.rootSpan, "dataset-load")
 	ds, _, err := s.registry.Get(j.datasetID)
+	load.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -436,7 +486,7 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 		// Incremented before s.mu is released: the leader could otherwise
 		// settle (and decrement for) this waiter first, sending the gauge
 		// negative.
-		s.waiting.Add(1)
+		s.met.waiting.Add(1)
 		s.mu.Unlock()
 		return nil, false, errParked
 	}
@@ -446,7 +496,7 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	// tier was already probed by the miss above).
 	if rep, ok := s.cache.getMem(j.key); ok {
 		s.mu.Unlock()
-		s.cacheHits.Add(1)
+		s.met.cacheHits.Inc()
 		return rep, true, nil
 	}
 	f := &flight{}
@@ -454,7 +504,7 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	s.mu.Unlock()
 
 	// Leader: the one validation run for the key while the flight lives.
-	rep, err := s.validate(j, ds)
+	rep, err = s.validate(j, ds)
 	f.rep, f.err = rep, err
 	f.shareable = err != nil || (!rep.Stats.Canceled && !rep.Stats.TimedOut)
 	s.mu.Lock()
@@ -472,30 +522,37 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 // progress event at every level boundary — updating the run counters and
 // publishing complete results to the cache.
 func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
-	s.cacheMisses.Add(1)
-	s.validationRuns.Add(1)
+	s.met.cacheMisses.Inc()
+	s.met.validationRuns.Inc()
 	if gate := s.cfg.runGate; gate != nil {
 		gate(j)
 	}
 	onLevel := func(p aod.Progress, partial *aod.Report) {
+		s.met.levelValid.Observe(p.LevelValidation)
 		j.publishProgress(p, partial)
 		if hook := s.cfg.levelHook; hook != nil {
 			hook(j)
 		}
 	}
+	// The discovery pipeline picks the trace up from the context and parents
+	// its partition-build and per-level spans (and, under a shard pool, the
+	// per-slice RPC and stitched worker spans) beneath this one.
+	span := j.trace.StartUnder(j.rootSpan, "discover")
+	ctx := telemetry.NewContext(j.ctx, j.trace, span.ID())
 	// The sharded and local paths are result-identical by the executor
 	// contract, so cache keys and in-flight dedup need not know which one
 	// ran the job.
 	var rep *aod.Report
 	var err error
 	if s.cfg.ShardPool != nil {
-		rep, err = aod.DiscoverShardedStreamContext(j.ctx, ds, j.opts, s.cfg.ShardPool, onLevel)
+		rep, err = aod.DiscoverShardedStreamContext(ctx, ds, j.opts, s.cfg.ShardPool, onLevel)
 	} else {
-		rep, err = aod.DiscoverStreamContext(j.ctx, ds, j.opts, onLevel)
+		rep, err = aod.DiscoverStreamContext(ctx, ds, j.opts, onLevel)
 	}
+	span.End()
 	if err == nil && !rep.Stats.Canceled && !rep.Stats.TimedOut {
-		s.validationNs.Add(int64(rep.Stats.ValidationTime))
-		s.discoveryNs.Add(int64(rep.Stats.TotalTime))
+		s.met.validationNs.Add(uint64(rep.Stats.ValidationTime))
+		s.met.discoveryNs.Add(uint64(rep.Stats.TotalTime))
 		// Publish to the cache before retiring the flight (in the leader
 		// path) so a new arrival always finds one of the two.
 		s.cache.put(j.key, rep)
@@ -508,7 +565,7 @@ func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 // attempt when the leader was canceled or timed out. Already-terminal
 // waiters (canceled while parked) are left as they are.
 func (s *Service) settleWaiter(w *Job, f *flight) {
-	s.waiting.Add(-1)
+	s.met.waiting.Add(-1)
 	w.mu.Lock()
 	if w.state.Terminal() {
 		w.mu.Unlock()
@@ -519,8 +576,9 @@ func (s *Service) settleWaiter(w *Job, f *flight) {
 		w.state = JobCanceled
 		w.finished = time.Now().UTC()
 		w.closeSubsLocked()
+		w.endSpansLocked()
 		w.mu.Unlock()
-		s.jobsCanceled.Add(1)
+		s.met.jobsCanceled.Inc()
 		return
 	}
 	if !f.shareable {
@@ -533,8 +591,9 @@ func (s *Service) settleWaiter(w *Job, f *flight) {
 			w.state = JobCanceled
 			w.finished = time.Now().UTC()
 			w.closeSubsLocked()
+			w.endSpansLocked()
 			w.mu.Unlock()
-			s.jobsCanceled.Add(1)
+			s.met.jobsCanceled.Inc()
 			return
 		}
 		// Requeued with its original admission seq and cost: among equal-cost
@@ -550,16 +609,40 @@ func (s *Service) settleWaiter(w *Job, f *flight) {
 		w.state = JobFailed
 		w.err = f.err
 		w.closeSubsLocked()
+		w.endSpansLocked()
 		w.mu.Unlock()
-		s.jobsFailed.Add(1)
+		s.met.jobsFailed.Inc()
 	} else {
 		w.state = JobDone
 		w.report = f.rep
 		w.cacheHit = true
 		w.closeSubsLocked()
+		w.endSpansLocked()
+		s.observeJobLatency(w, true, w.finished.Sub(w.created))
 		w.mu.Unlock()
-		s.jobsDone.Add(1)
-		s.cacheHits.Add(1)
+		s.met.jobsDone.Inc()
+		s.met.cacheHits.Inc()
 	}
 	w.cancel()
+}
+
+// boolAttr renders a boolean as a span attribute value.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// JobTrace returns the job's span tree — the GET /jobs/{id}/trace body.
+// Spans still open (a running job's discover span, say) are absent until
+// they finish; committed children of open spans surface as roots.
+func (s *Service) JobTrace(id string) (telemetry.TraceJSON, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return telemetry.TraceJSON{}, errNoJobf(id)
+	}
+	return j.trace.Tree(), nil
 }

@@ -11,11 +11,11 @@ package service
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"aod"
 	"aod/internal/store"
+	"aod/internal/telemetry"
 )
 
 // Config sizes a Service. The zero value selects sensible defaults.
@@ -53,6 +53,11 @@ type Config struct {
 	// cost, so a flood of small jobs cannot starve batch work indefinitely
 	// (default 1m; negative disables aging).
 	MaxQueueWait time.Duration
+	// Metrics, when non-nil, is the registry the service's counters, gauges,
+	// and latency histograms live in — shared with other subsystems (shard
+	// pool, HTTP layer) so one /metrics scrape covers the process. Nil gets
+	// the service a private registry; /stats works either way.
+	Metrics *telemetry.Registry
 
 	// Test seams (same-package tests only): runGate runs when a worker picks
 	// the job up, before discovery starts; levelHook runs after each level
@@ -129,18 +134,69 @@ type Service struct {
 
 	wg sync.WaitGroup
 
-	// Counters (atomics: updated from workers, read by Stats).
-	jobsSubmitted  atomic.Uint64
-	jobsDone       atomic.Uint64
-	jobsFailed     atomic.Uint64
-	jobsCanceled   atomic.Uint64
-	inFlight       atomic.Int64
-	waiting        atomic.Int64
-	cacheHits      atomic.Uint64
-	cacheMisses    atomic.Uint64
-	validationNs   atomic.Int64
-	discoveryNs    atomic.Int64
-	validationRuns atomic.Uint64
+	// reg is the metrics registry (Config.Metrics or a private one); met
+	// holds the resolved handles. The registry is the single source of truth
+	// for the service counters: /stats and /metrics read the same series.
+	reg *telemetry.Registry
+	met serviceMetrics
+}
+
+// serviceMetrics is the service's resolved metric handles. Counters and
+// gauges are updated from worker goroutines with single atomic operations.
+type serviceMetrics struct {
+	jobsSubmitted  *telemetry.Counter
+	jobsDone       *telemetry.Counter
+	jobsFailed     *telemetry.Counter
+	jobsCanceled   *telemetry.Counter
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	validationRuns *telemetry.Counter
+	validationNs   *telemetry.Counter
+	discoveryNs    *telemetry.Counter
+	inFlight       *telemetry.Gauge
+	waiting        *telemetry.Gauge
+
+	// Job end-to-end latency by class: cache hits answer in microseconds,
+	// small and large validation runs in milliseconds to minutes — one
+	// histogram would bury the classes' tails in each other.
+	latCacheHit *telemetry.Histogram
+	latSmall    *telemetry.Histogram
+	latLarge    *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+	levelValid  *telemetry.Histogram
+}
+
+// smallJobCost splits the small and large job classes by the scheduler's
+// admission estimate (rows × cols × levels). 1<<24 ≈ 16.8M puts a
+// 5k-row × 10-attr full-lattice job (500K) firmly in "small" and anything
+// approaching the paper's flight-scale datasets in "large".
+const smallJobCost = 1 << 24
+
+func (s *Service) initMetrics() {
+	r := s.reg
+	m := &s.met
+	m.jobsSubmitted = r.Counter("aod_jobs_submitted_total", "", "Jobs accepted by Submit.")
+	m.jobsDone = r.Counter("aod_jobs_done_total", "", "Jobs completed with a report.")
+	m.jobsFailed = r.Counter("aod_jobs_failed_total", "", "Jobs completed with an error.")
+	m.jobsCanceled = r.Counter("aod_jobs_canceled_total", "", "Jobs canceled before or during the run.")
+	m.cacheHits = r.Counter("aod_cache_hits_total", "", "Jobs answered by the result cache or an in-flight run.")
+	m.cacheMisses = r.Counter("aod_cache_misses_total", "", "Jobs that required a validation run.")
+	m.validationRuns = r.Counter("aod_validation_runs_total", "", "Discovery runs actually executed.")
+	m.validationNs = r.Counter("aod_validation_ns_total", "", "Cumulative validator time of complete runs, in nanoseconds.")
+	m.discoveryNs = r.Counter("aod_discovery_ns_total", "", "Cumulative end-to-end discovery time of complete runs, in nanoseconds.")
+	m.inFlight = r.Gauge("aod_jobs_in_flight", "", "Jobs currently holding a worker.")
+	m.waiting = r.Gauge("aod_jobs_waiting", "", "Jobs parked on an identical in-flight run.")
+	m.latCacheHit = r.Histogram("aod_job_seconds", telemetry.Label("class", "cachehit"), "Job end-to-end latency by class.")
+	m.latSmall = r.Histogram("aod_job_seconds", telemetry.Label("class", "small"), "Job end-to-end latency by class.")
+	m.latLarge = r.Histogram("aod_job_seconds", telemetry.Label("class", "large"), "Job end-to-end latency by class.")
+	m.queueWait = r.Histogram("aod_queue_wait_seconds", "", "Time jobs spent queued before a worker picked them up.")
+	m.levelValid = r.Histogram("aod_level_validate_seconds", "", "Per-lattice-level validation time.")
+	r.GaugeFunc("aod_jobs_queued", "", "Jobs waiting for a worker.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.pending.Len())
+	})
+	r.GaugeFunc("aod_datasets", "", "Datasets registered.", func() int64 { return int64(s.registry.Len()) })
 }
 
 // New starts a Service with cfg's worker pool running.
@@ -153,7 +209,12 @@ func New(cfg Config) *Service {
 		start:    time.Now(),
 		jobs:     make(map[string]*Job),
 		flights:  make(map[string]*flight),
+		reg:      cfg.Metrics,
 	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.initMetrics()
 	s.pending.maxWait = cfg.MaxQueueWait
 	s.pending.now = cfg.now
 	s.notEmpty = sync.NewCond(&s.mu)
@@ -166,6 +227,9 @@ func New(cfg Config) *Service {
 
 // Registry exposes the dataset registry.
 func (s *Service) Registry() *Registry { return s.registry }
+
+// Metrics exposes the metrics registry backing /stats and /metrics.
+func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 
 // Close cancels every live job, stops the workers, and waits for them to
 // drain. Submit fails with ErrClosed afterwards.
@@ -231,30 +295,41 @@ type Stats struct {
 	Shards []aod.ShardWorkerStatus `json:"shards,omitempty"`
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters through the metrics registry — the
+// same series /metrics scrapes. The read order makes the snapshot coherent
+// where it matters: terminal counters (done/failed/canceled) are read before
+// the submitted counter, and Submit increments the submitted counter before
+// the job becomes runnable, so the invariant
+// done + failed + canceled ≤ submitted holds in every snapshot no matter how
+// many jobs complete mid-read. (The previous field-by-field read taken in an
+// arbitrary order could observe a fast job's completion before its
+// submission.)
 func (s *Service) Stats() Stats {
 	size, capacity, evictions := s.cache.stats()
 	s.mu.Lock()
 	queued := s.pending.Len()
 	s.mu.Unlock()
+	done := s.met.jobsDone.Value()
+	failed := s.met.jobsFailed.Value()
+	canceled := s.met.jobsCanceled.Value()
 	st := Stats{
 		Datasets:         s.registry.Len(),
 		DatasetsResident: s.registry.Resident(),
-		JobsSubmitted:    s.jobsSubmitted.Load(),
-		JobsDone:         s.jobsDone.Load(),
-		JobsFailed:       s.jobsFailed.Load(),
-		JobsCanceled:     s.jobsCanceled.Load(),
-		JobsInFlight:     s.inFlight.Load(),
-		JobsWaiting:      s.waiting.Load(),
+		JobsSubmitted:    s.met.jobsSubmitted.Value(),
+		JobsDone:         done,
+		JobsFailed:       failed,
+		JobsCanceled:     canceled,
+		JobsInFlight:     s.met.inFlight.Value(),
+		JobsWaiting:      s.met.waiting.Value(),
 		JobsQueued:       queued,
-		CacheHits:        s.cacheHits.Load(),
-		CacheMisses:      s.cacheMisses.Load(),
+		CacheHits:        s.met.cacheHits.Value(),
+		CacheMisses:      s.met.cacheMisses.Value(),
 		CacheSize:        size,
 		CacheCapacity:    capacity,
 		CacheEvictions:   evictions,
-		ValidationRuns:   s.validationRuns.Load(),
-		ValidationTime:   time.Duration(s.validationNs.Load()),
-		DiscoveryTime:    time.Duration(s.discoveryNs.Load()),
+		ValidationRuns:   s.met.validationRuns.Value(),
+		ValidationTime:   time.Duration(s.met.validationNs.Value()),
+		DiscoveryTime:    time.Duration(s.met.discoveryNs.Value()),
 		Workers:          s.cfg.Workers,
 		QueueDepth:       s.cfg.QueueDepth,
 		Uptime:           time.Since(s.start),

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"aod"
+	"aod/internal/telemetry"
+)
+
+// TestStatsSnapshotConsistency pins the /stats consistency fix: under a storm
+// of fast jobs completing concurrently with Stats() reads, every snapshot
+// must satisfy done + failed + canceled ≤ submitted. Before the fix the
+// submitted counter was incremented after the job became runnable (and the
+// fields were read in arbitrary order), so a fast job's completion could be
+// observed before its own submission. Run under -race in CI.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: -1, CacheSize: -1})
+	defer s.Close()
+	info, _, err := s.registry.Add("emp", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const submitters, perSubmitter = 4, 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer Stats() while jobs churn.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if terminal := st.JobsDone + st.JobsFailed + st.JobsCanceled; terminal > st.JobsSubmitted {
+					t.Errorf("torn snapshot: done+failed+canceled = %d > submitted = %d", terminal, st.JobsSubmitted)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				// Distinct MaxLevel values defeat the result cache enough to
+				// keep real runs (and their counter traffic) flowing.
+				opts := aod.Options{Threshold: 0.1, MaxLevel: 1 + (g*perSubmitter+i)%2}
+				if _, err := s.Submit(info.ID, opts); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Wait for the submitters, then for the queue to drain.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			st := s.Stats()
+			if st.JobsSubmitted == submitters*perSubmitter &&
+				st.JobsDone+st.JobsFailed+st.JobsCanceled == st.JobsSubmitted {
+				return
+			}
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.JobsSubmitted != submitters*perSubmitter {
+		t.Errorf("submitted = %d, want %d", st.JobsSubmitted, submitters*perSubmitter)
+	}
+	if st.JobsDone+st.JobsFailed+st.JobsCanceled != st.JobsSubmitted {
+		t.Errorf("terminal jobs = %d, want %d", st.JobsDone+st.JobsFailed+st.JobsCanceled, st.JobsSubmitted)
+	}
+}
+
+// TestServiceMetricsRegistry asserts the service's counters and histograms
+// surface through the registry (the /metrics body) and stay consistent with
+// /stats.
+func TestServiceMetricsRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{Workers: 2, Metrics: reg})
+	defer s.Close()
+	info, _, err := s.registry.Add("emp", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Submit(info.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, v.ID, JobDone)
+	// An identical re-submission is a cache hit.
+	v2, err := s.Submit(info.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := waitState(t, s, v2.ID, JobDone)
+	if !hit.CacheHit {
+		t.Fatal("re-submission was not a cache hit")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"aod_jobs_submitted_total 2",
+		"aod_jobs_done_total 2",
+		`aod_job_seconds_bucket{class="cachehit"`,
+		`aod_job_seconds_bucket{class="small"`,
+		"aod_queue_wait_seconds_count",
+		"aod_level_validate_seconds_count",
+		"aod_validation_runs_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n%s", want, out)
+		}
+	}
+	st := s.Stats()
+	if st.JobsSubmitted != 2 || st.JobsDone != 2 || st.ValidationRuns != 1 || st.CacheHits != 1 {
+		t.Errorf("stats disagree with registry: %+v", st)
+	}
+}
+
+// TestJobTrace asserts a completed job's trace contains the full stage
+// breakdown with sane parentage.
+func TestJobTrace(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	info, _, err := s.registry.Add("emp", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Submit(info.ID, aod.Options{Threshold: 0.1, IncludeOFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, v.ID, JobDone)
+
+	tree, err := s.JobTrace(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.TraceID != v.ID {
+		t.Errorf("trace id = %q, want %q", tree.TraceID, v.ID)
+	}
+	if len(tree.Spans) != 1 || tree.Spans[0].Name != "job" {
+		t.Fatalf("want a single job root span, got %+v", tree.Spans)
+	}
+	names := map[string]int{}
+	var walk func(n *telemetry.TreeNode)
+	walk = func(n *telemetry.TreeNode) {
+		names[n.Name]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree.Spans[0])
+	for _, want := range []string{"queue-wait", "cache-lookup", "dataset-load", "discover", "partition-build", "level"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span; got %v", want, names)
+		}
+	}
+	if got := names["level"]; got != done.Report.Stats.LevelsProcessed {
+		t.Errorf("level spans = %d, want %d", got, done.Report.Stats.LevelsProcessed)
+	}
+
+	if _, err := s.JobTrace("job-999"); err == nil {
+		t.Error("JobTrace on unknown id should fail")
+	}
+}
+
+// TestJobTraceUnknownVsKnown keeps the trace surface stable across many jobs.
+func TestJobTraceManyJobs(t *testing.T) {
+	s := New(Config{Workers: 2, CacheSize: -1})
+	defer s.Close()
+	info, _, err := s.registry.Add("emp", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		v, err := s.Submit(info.ID, aod.Options{Threshold: 0.1, MaxLevel: 1 + i%2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		waitState(t, s, id, JobDone)
+		tree, err := s.JobTrace(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.TraceID != id {
+			t.Fatalf("trace id %q for job %q", tree.TraceID, id)
+		}
+		if len(tree.Spans) == 0 {
+			t.Fatalf("job %s has an empty trace", id)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt if assertions above change
+
+// TestHTTPMetricsAndTrace drives the /metrics and /jobs/{id}/trace endpoints
+// over real HTTP.
+func TestHTTPMetricsAndTrace(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc, HandlerConfig{}))
+	defer srv.Close()
+	client := srv.Client()
+
+	var info DatasetInfo
+	code, raw := doJSON(t, client, http.MethodPost, srv.URL+"/datasets?name=emp",
+		strings.NewReader(employeesCSV), &info)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /datasets: status %d: %s", code, raw)
+	}
+	var v JobView
+	body := fmt.Sprintf(`{"datasetId":%q,"options":{"threshold":0.1}}`, info.ID)
+	code, raw = doJSON(t, client, http.MethodPost, srv.URL+"/jobs", strings.NewReader(body), &v)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d: %s", code, raw)
+	}
+	pollJob(t, client, srv.URL, v.ID, JobDone)
+
+	// /metrics: Prometheus text with the service families present.
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metRaw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("GET /metrics Content-Type = %q", ct)
+	}
+	met := string(metRaw)
+	for _, want := range []string{
+		"# TYPE aod_jobs_submitted_total counter",
+		"# TYPE aod_job_seconds histogram",
+		"aod_jobs_done_total 1",
+		"aod_job_seconds_count{class=\"small\"} 1",
+		"aod_datasets 1",
+	} {
+		if !strings.Contains(met, want) {
+			t.Errorf("GET /metrics missing %q\n%s", want, met)
+		}
+	}
+
+	// /jobs/{id}/trace: span tree JSON rooted at the job span.
+	var tree telemetry.TraceJSON
+	code, raw = doJSON(t, client, http.MethodGet, srv.URL+"/jobs/"+v.ID+"/trace", nil, &tree)
+	if code != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace: status %d: %s", v.ID, code, raw)
+	}
+	if tree.TraceID != v.ID || len(tree.Spans) != 1 || tree.Spans[0].Name != "job" {
+		t.Fatalf("trace = %s", raw)
+	}
+	if len(tree.Spans[0].Children) == 0 {
+		t.Fatalf("job span has no children: %s", raw)
+	}
+
+	// Unknown job → 404.
+	code, _ = doJSON(t, client, http.MethodGet, srv.URL+"/jobs/job-999/trace", nil, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("GET /jobs/job-999/trace: status %d, want 404", code)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"aod/internal/core"
 	"aod/internal/dataset"
+	"aod/internal/telemetry"
 )
 
 // Config tunes a Cluster's failure policy. The zero value selects defaults.
@@ -27,6 +28,9 @@ type Config struct {
 	StragglerAfter time.Duration
 	// Logf, when non-nil, receives one line per notable event.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the cluster's RPC round-trip histogram
+	// and retry/re-dispatch counters.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +82,22 @@ type Cluster struct {
 
 	mu    sync.Mutex
 	state map[string]*WorkerStatus
+
+	// Metric handles (nil-safe when Config.Metrics is nil).
+	rpcHist    *telemetry.Histogram
+	retries    *telemetry.Counter
+	redispatch *telemetry.Counter
+}
+
+// initMetrics resolves the cluster's metric handles from Config.Metrics.
+func (c *Cluster) initMetrics() {
+	r := c.cfg.Metrics
+	if r == nil {
+		return
+	}
+	c.rpcHist = r.Histogram("aod_shard_rpc_seconds", "", "Level-slice RPC round-trip latency.")
+	c.retries = r.Counter("aod_shard_retries_total", "", "Slices retried on another worker after a failure.")
+	c.redispatch = r.Counter("aod_shard_redispatch_total", "", "Straggling slices re-dispatched to a second worker.")
 }
 
 // New returns a Cluster over TCP worker addresses (host:port).
@@ -87,6 +107,7 @@ func New(addrs []string, cfg Config) *Cluster {
 		cfg:   cfg.withDefaults(),
 		state: make(map[string]*WorkerStatus),
 	}
+	c.initMetrics()
 	c.dial = func(ctx context.Context, addr string) (net.Conn, error) {
 		var d net.Dialer
 		return d.DialContext(ctx, "tcp", addr)
@@ -270,19 +291,34 @@ func (s *session) RunSlice(ctx context.Context, shard, level int, tasks []core.N
 	start := shard % len(ordered)
 	ordered = append(ordered[start:len(ordered):len(ordered)], ordered[:start]...)
 
-	msg := &levelMsg{Level: level, Tasks: tasks}
+	trace, levelSpan := telemetry.FromContext(ctx)
+	msg := &levelMsg{Level: level, Tasks: tasks, Trace: trace.ID()}
 	ch := make(chan sliceOutcome, len(ordered))
 	run := func(w *workerClient) {
 		s.c.note(w.addr, func(st *WorkerStatus) { st.AssignedTasks += uint64(len(tasks)) })
+		// One span per dispatch attempt, parented under the level's span;
+		// failed attempts stay in the trace (labeled with the error) so
+		// retries and straggler races are visible.
+		span := trace.Start(levelSpan, "rpc")
+		span.SetLabel("worker %s", w.addr)
+		span.Attr("tasks", int64(len(tasks)))
+		t0 := time.Now()
 		rs, err := w.runLevel(ctx, s.c.cfg.CallTimeout, msg)
+		s.c.rpcHist.Observe(time.Since(t0))
 		if err == nil && len(rs.Results) != len(tasks) {
 			err = fmt.Errorf("shard: worker %s returned %d results for %d tasks", w.addr, len(rs.Results), len(tasks))
 			w.kill()
 		}
 		if err != nil {
+			span.SetLabel("worker %s: %v", w.addr, err)
+			span.End()
 			ch <- sliceOutcome{err: err, from: w}
 			return
 		}
+		span.End()
+		// Worker-side spans stitch under this attempt's rpc span. Re-basing
+		// absorbs clock skew; alignment is accurate to the round trip.
+		trace.AddRemote(span.ID(), rs.Spans)
 		ch <- sliceOutcome{rs: rs.Results, from: w}
 	}
 
@@ -309,6 +345,7 @@ func (s *session) RunSlice(ctx context.Context, shard, level int, tasks []core.N
 			}
 			// Retry on the next untried worker once nothing is in flight.
 			if pending == 0 && next < len(ordered) {
+				s.c.retries.Inc()
 				go run(ordered[next])
 				next++
 				pending++
@@ -318,6 +355,7 @@ func (s *session) RunSlice(ctx context.Context, shard, level int, tasks []core.N
 			if next < len(ordered) {
 				s.c.logf("shard: level %d slice straggling on %s; re-dispatching to %s",
 					level, ordered[0].addr, ordered[next].addr)
+				s.c.redispatch.Inc()
 				go run(ordered[next])
 				next++
 				pending++

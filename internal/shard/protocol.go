@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"aod/internal/core"
+	"aod/internal/telemetry"
 )
 
 // protoVersion guards against coordinator/worker skew: a worker refuses a
@@ -81,16 +82,25 @@ type datasetMsg struct {
 	Types []string `json:"types"`
 }
 
-// levelMsg carries one contiguous slice of a lattice level.
+// levelMsg carries one contiguous slice of a lattice level. Trace, when
+// non-empty, is the coordinator's trace ID; the worker echoes it on the
+// spans it returns so they stitch into the coordinator's trace. The field is
+// additive and omitempty, so protoVersion stays 1 — a v1 worker without it
+// simply returns no spans.
 type levelMsg struct {
 	Level int             `json:"level"`
 	Tasks []core.NodeTask `json:"tasks"`
+	Trace string          `json:"trace,omitempty"`
 }
 
 // resultMsg answers a levelMsg with the slice's results in task order.
+// Spans carries the worker-side span tree for the slice (only when the
+// request carried a trace ID), on the worker's own clock — the coordinator
+// re-bases them under its RPC span.
 type resultMsg struct {
-	Results []core.NodeResult `json:"results,omitempty"`
-	Error   string            `json:"error,omitempty"`
+	Results []core.NodeResult    `json:"results,omitempty"`
+	Spans   []telemetry.WireSpan `json:"spans,omitempty"`
+	Error   string               `json:"error,omitempty"`
 }
 
 // writeFrame encodes f and writes it length-prefixed.

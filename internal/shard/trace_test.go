@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"aod/internal/core"
+	"aod/internal/gen"
+	"aod/internal/telemetry"
+)
+
+// collectSpans flattens a trace into name → spans.
+func collectSpans(tr *telemetry.Trace) map[string][]telemetry.Span {
+	out := make(map[string][]telemetry.Span)
+	for _, s := range tr.Spans() {
+		out[s.Name] = append(out[s.Name], s)
+	}
+	return out
+}
+
+// TestTraceIDPropagation runs a sharded job with an active trace and asserts
+// the frame protocol carried the trace ID to the workers and their spans
+// stitched back under the coordinator's RPC spans.
+func TestTraceIDPropagation(t *testing.T) {
+	tbl := gen.Flight(gen.FlightConfig{Rows: 200, Attrs: 6, Seed: 7})
+	cfg := core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal, IncludeOFDs: true}
+
+	tr := telemetry.NewTrace("job-trace-propagation")
+	root := tr.Start(0, "job")
+	ctx := telemetry.NewContext(context.Background(), tr, root.ID())
+
+	cluster := Loopback(2)
+	res, err := core.Pipeline{Executor: core.Sharded(cluster)}.Run(ctx, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Stats.LevelsProcessed == 0 {
+		t.Fatal("no levels processed")
+	}
+	root.End()
+
+	spans := collectSpans(tr)
+	if len(spans["partition-build"]) != 1 {
+		t.Errorf("partition-build spans = %d, want 1", len(spans["partition-build"]))
+	}
+	if len(spans["level"]) != res.Stats.LevelsProcessed {
+		t.Errorf("level spans = %d, want %d", len(spans["level"]), res.Stats.LevelsProcessed)
+	}
+	if len(spans["rpc"]) == 0 {
+		t.Fatal("no rpc spans recorded")
+	}
+	execs := spans["worker-exec"]
+	if len(execs) == 0 {
+		t.Fatal("no worker-exec spans stitched into the coordinator trace")
+	}
+	rpcIDs := make(map[telemetry.SpanID]bool)
+	for _, s := range spans["rpc"] {
+		rpcIDs[s.ID] = true
+	}
+	for _, s := range execs {
+		if !s.Remote {
+			t.Errorf("worker-exec span not marked remote: %+v", s)
+		}
+		// The label is the worker's echo of the trace ID it received on the
+		// wire — the propagation proof.
+		if s.Label != tr.ID() {
+			t.Errorf("worker echoed trace ID %q, want %q", s.Label, tr.ID())
+		}
+		if !rpcIDs[s.Parent] {
+			t.Errorf("worker-exec span parented under %d, not an rpc span", s.Parent)
+		}
+		if s.Attrs["tasks"] <= 0 {
+			t.Errorf("worker-exec span missing tasks attr: %+v", s.Attrs)
+		}
+	}
+}
+
+// TestTraceIDPropagationAcrossRetry kills the first worker mid-lattice (the
+// protocol-level equivalent of a SIGKILLed worker process: the connection
+// drops without a reply) and asserts the retried slice's spans still stitch
+// in — the failed attempt stays visible in the trace, and the surviving
+// worker's spans echo the same trace ID.
+func TestTraceIDPropagationAcrossRetry(t *testing.T) {
+	tbl := gen.Flight(gen.FlightConfig{Rows: 300, Attrs: 7, Seed: 3})
+	cfg := core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal, IncludeOFDs: true}
+	want, err := core.Pipeline{}.Run(context.Background(), tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dieAt := 2
+	w0 := NewWorker(WorkerOptions{LevelHook: func(level, tasks int) error {
+		if level >= dieAt {
+			return errors.New("injected kill")
+		}
+		return nil
+	}})
+	w1 := NewWorker(WorkerOptions{})
+	cluster := NewLoopback(Config{}, []*Worker{w0, w1})
+
+	tr := telemetry.NewTrace("job-trace-retry")
+	root := tr.Start(0, "job")
+	ctx := telemetry.NewContext(context.Background(), tr, root.ID())
+	got, err := core.Pipeline{Executor: core.Sharded(cluster)}.Run(ctx, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if len(got.OCs) != len(want.OCs) || len(got.OFDs) != len(want.OFDs) {
+		t.Fatalf("retried job result differs: %d/%d OCs, %d/%d OFDs",
+			len(got.OCs), len(want.OCs), len(got.OFDs), len(want.OFDs))
+	}
+
+	spans := collectSpans(tr)
+	var failed int
+	for _, s := range spans["rpc"] {
+		if strings.Contains(s.Label, "injected") || strings.Contains(s.Label, "EOF") ||
+			strings.Contains(s.Label, "closed") || strings.Contains(s.Label, "broken") {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("killed worker's failed rpc attempt not recorded in the trace")
+	}
+	var echoed int
+	for _, s := range spans["worker-exec"] {
+		if s.Label == tr.ID() {
+			echoed++
+		}
+	}
+	if echoed == 0 {
+		t.Error("no worker-exec span echoed the trace ID after the retry")
+	}
+	// Retry telemetry: the cluster counted at least one retry or
+	// re-dispatch... only when a registry is wired; assert via a metered run
+	// in TestClusterRetryMetrics instead.
+}
+
+// TestClusterRetryMetrics pins the retry counter and RPC histogram wiring.
+func TestClusterRetryMetrics(t *testing.T) {
+	tbl := gen.Uniform(150, 5, 3, 9)
+	cfg := core.Config{Threshold: 0.12, Validator: core.ValidatorOptimal}
+
+	reg := telemetry.NewRegistry()
+	die := func(level, tasks int) error {
+		if level >= 2 {
+			return errors.New("injected kill")
+		}
+		return nil
+	}
+	cluster := NewLoopback(Config{Metrics: reg}, []*Worker{
+		NewWorker(WorkerOptions{LevelHook: die}),
+		NewWorker(WorkerOptions{}),
+	})
+	if _, err := (core.Pipeline{Executor: core.Sharded(cluster)}).Run(context.Background(), tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.retries.Value() == 0 {
+		t.Error("retries counter not incremented after injected worker death")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"aod_shard_rpc_seconds_count", "aod_shard_retries_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster /metrics missing %q", want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"aod/internal/core"
 	"aod/internal/dataset"
+	"aod/internal/telemetry"
 )
 
 // WorkerOptions tunes a Worker. The zero value is ready for production use.
@@ -28,6 +29,9 @@ type WorkerOptions struct {
 	// non-nil error makes the worker drop the connection without replying —
 	// the fault-injection seam behind the worker-death tests.
 	LevelHook func(level, tasks int) error
+	// Metrics, when non-nil, receives the worker's counters and slice-exec
+	// latency histogram (the aodworker /metrics surface).
+	Metrics *telemetry.Registry
 }
 
 // Worker is the shard-worker server: it caches datasets by content
@@ -47,6 +51,9 @@ type Worker struct {
 	levelsRun    atomic.Uint64
 	tasksRun     atomic.Uint64
 	datasetLoads atomic.Uint64
+
+	// execHist observes per-slice execution latency (nil without Metrics).
+	execHist *telemetry.Histogram
 }
 
 type cachedDataset struct {
@@ -62,7 +69,18 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.MaxDatasets < 0 {
 		opts.MaxDatasets = 0 // unbounded
 	}
-	return &Worker{opts: opts, cache: make(map[string]*cachedDataset)}
+	w := &Worker{opts: opts, cache: make(map[string]*cachedDataset)}
+	if r := opts.Metrics; r != nil {
+		// The atomics below stay the source of truth; the registry samples
+		// them at scrape time, so nothing is double-counted.
+		r.CounterFunc("aodworker_sessions_total", "", "Job sessions accepted.", w.sessions.Load)
+		r.CounterFunc("aodworker_levels_total", "", "Level slices processed.", w.levelsRun.Load)
+		r.CounterFunc("aodworker_tasks_total", "", "Node tasks processed.", w.tasksRun.Load)
+		r.CounterFunc("aodworker_dataset_loads_total", "", "Dataset payloads shipped to this worker.", w.datasetLoads.Load)
+		r.GaugeFunc("aodworker_cached_datasets", "", "Prepared datasets currently cached.", func() int64 { return int64(w.CachedDatasets()) })
+		w.execHist = r.Histogram("aodworker_slice_exec_seconds", "", "Per-slice execution latency.")
+	}
+	return w
 }
 
 // CachedDatasets returns the number of datasets currently prepared.
@@ -115,6 +133,14 @@ func (w *Worker) ServeConn(conn net.Conn) {
 		return
 	}
 
+	// Span offsets within this session are measured from the session's own
+	// start — an arbitrary zero the coordinator re-bases (AddRemote) under
+	// its RPC span. prevEncodeNs carries the previous reply's serialization
+	// time: a reply cannot time its own encoding (it is part of the payload),
+	// so each slice reports its predecessor's.
+	sessionStart := time.Now()
+	var prevEncodeNs int64
+	var prevHits, prevBuilds uint64
 	for {
 		f, err := readFrame(br)
 		if err != nil {
@@ -130,14 +156,40 @@ func (w *Worker) ServeConn(conn net.Conn) {
 				return // abrupt death, no reply
 			}
 		}
+		execStart := time.Since(sessionStart)
+		t0 := time.Now()
 		results, connOK := w.runLevelMonitored(conn, runner, f.Level.Tasks)
+		execDur := time.Since(t0)
+		w.execHist.Observe(execDur)
 		w.levelsRun.Add(1)
 		w.tasksRun.Add(uint64(len(f.Level.Tasks)))
 		if !connOK {
 			w.logf("shard worker: connection lost mid-level; dropping slice")
 			return
 		}
-		if !w.reply(bw, &frame{T: "result", Result: &resultMsg{Results: results}}) {
+		res := &resultMsg{Results: results}
+		if f.Level.Trace != "" {
+			// The echoed trace ID (Label) is the propagation proof the
+			// coordinator-side tests assert on.
+			hits, builds := runner.PartitionCacheStats()
+			res.Spans = []telemetry.WireSpan{{
+				Name:    "worker-exec",
+				Label:   f.Level.Trace,
+				StartNs: int64(execStart),
+				DurNs:   int64(execDur),
+				Attrs: map[string]int64{
+					"tasks":           int64(len(f.Level.Tasks)),
+					"partitionHits":   int64(hits - prevHits),
+					"partitionBuilds": int64(builds - prevBuilds),
+					"prevEncodeNs":    prevEncodeNs,
+				},
+			}}
+			prevHits, prevBuilds = hits, builds
+		}
+		e0 := time.Now()
+		ok := w.reply(bw, &frame{T: "result", Result: res})
+		prevEncodeNs = int64(time.Since(e0))
+		if !ok {
 			return
 		}
 	}

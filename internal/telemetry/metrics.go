@@ -1,0 +1,494 @@
+// Package telemetry is the repo's zero-dependency observability layer: a
+// metrics registry (counters, gauges, fixed-bucket latency histograms with
+// read-time quantiles, Prometheus text exposition) and a lightweight span
+// tracer (trace.go) that stitches coordinator- and worker-side timings of one
+// discovery job into a single tree.
+//
+// Everything is allocation-conscious by design: metric handles are resolved
+// once at registration and updated with single atomic operations; histograms
+// use lock-free power-of-two buckets (no per-observation allocation, no
+// locks on the write path); a nil *Trace disables span recording at the cost
+// of one pointer check. The discovery hot path (per-candidate validation) is
+// deliberately NOT instrumented — telemetry attaches at level, slice, and
+// job granularity, which is why telemetry-on overhead stays within noise on
+// the bench workloads.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are no-ops on a
+// nil receiver, so instrumented code threads handles unconditionally and an
+// unwired registry costs one nil check per update.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets: powers of two in nanoseconds. Bucket i has upper bound
+// 2^(histMinPow+i) ns; observations at or below the first bound land in
+// bucket 0, observations past the last finite bound land in the overflow
+// bucket. The range 2^10 ns (≈1µs) .. 2^40 ns (≈18min) covers everything
+// from a single validator call to a giant discovery job.
+const (
+	histMinPow     = 10
+	histMaxPow     = 40
+	histBuckets    = histMaxPow - histMinPow + 1 // finite buckets
+	histAllBuckets = histBuckets + 1             // + overflow
+)
+
+// bucketBound returns the upper bound of finite bucket i in nanoseconds.
+func bucketBound(i int) int64 { return 1 << (histMinPow + i) }
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	ns := uint64(d)
+	if d <= 0 {
+		return 0
+	}
+	idx := bits.Len64(ns-1) - histMinPow
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets // overflow
+	}
+	return idx
+}
+
+// Histogram is a fixed-bucket latency histogram with a lock-free write path:
+// one atomic add per observation. Quantiles are computed at read time from a
+// coherent snapshot of the buckets, exact up to bucket resolution (buckets
+// double, so a quantile is within 2× of the true value; linear interpolation
+// inside the bucket does much better in practice).
+type Histogram struct {
+	buckets [histAllBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Buckets [histAllBuckets]uint64
+	Sum     time.Duration
+	Count   uint64
+}
+
+// Snapshot copies the histogram. Count is derived from the copied buckets,
+// so Count and Buckets are always mutually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 < q < 1) of the snapshot, interpolating
+// linearly within the containing bucket. Zero observations yield 0; the
+// overflow bucket reports the last finite bound (a lower bound on the truth).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			if i >= histBuckets {
+				return time.Duration(bucketBound(histBuckets - 1))
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			frac := (rank - cum) / float64(n)
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		cum = next
+	}
+	return time.Duration(bucketBound(histBuckets - 1))
+}
+
+// Mean returns the average observation.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// metricKind tags a series for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels string // `class="small"` — rendered inside {} verbatim; "" = none
+	c      *Counter
+	cFn    func() uint64 // sampled counter (reads an external atomic at scrape)
+	g      *Gauge
+	gFn    func() int64 // sampled gauge
+	h      *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry is a set of named metrics with Prometheus text exposition. All
+// methods are safe for concurrent use; registration is get-or-create, so
+// handles may be re-resolved freely (though callers should keep them).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // registration order, for stable exposition
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// familyFor resolves (or creates) the family, enforcing kind consistency.
+func (r *Registry) familyFor(name, help string, kind metricKind) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+func (r *Registry) seriesFor(name, labels, help string, kind metricKind) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kind)
+	s, ok := f.byKey[labels]
+	if !ok {
+		s = &series{labels: labels}
+		f.byKey[labels] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter registers (or resolves) a counter. labels is the raw Prometheus
+// label body (e.g. `class="small"`), "" for none.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	s := r.seriesFor(name, labels, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.c == nil && s.cFn == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at scrape
+// time — the bridge for pre-existing atomics that remain the source of truth.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64) {
+	s := r.seriesFor(name, labels, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.cFn = fn
+}
+
+// Gauge registers (or resolves) a gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	s := r.seriesFor(name, labels, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.g == nil && s.gFn == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
+	s := r.seriesFor(name, labels, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.gFn = fn
+}
+
+// Histogram registers (or resolves) a latency histogram.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	s := r.seriesFor(name, labels, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		s.h = &Histogram{}
+	}
+	return s.h
+}
+
+// snapshotFamilies copies the family/series structure under the lock so the
+// (potentially slow) exposition write happens without holding it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers per family, histogram series as
+// cumulative _bucket{le=...}, _sum and _count, durations in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		// Series order is registration order — stable across scrapes.
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		v := uint64(0)
+		if s.cFn != nil {
+			v = s.cFn()
+		} else if s.c != nil {
+			v = s.c.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelBody(s.labels), v)
+		return err
+	case kindGauge:
+		v := int64(0)
+		if s.gFn != nil {
+			v = s.gFn()
+		} else if s.g != nil {
+			v = s.g.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelBody(s.labels), v)
+		return err
+	default:
+		snap := s.h.Snapshot()
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += snap.Buckets[i]
+			// Skip interior all-zero prefixes? No: Prometheus clients expect
+			// every bucket; but 31 bounds × many series is noisy. Emit only
+			// buckets up to the last non-empty one, then +Inf — cumulative
+			// semantics make the omitted tail redundant.
+			if snap.Buckets[i] == 0 && !anyAfter(snap, i) && cum == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelBody(joinLabels(s.labels, fmt.Sprintf(`le="%g"`, float64(bucketBound(i))/1e9))), cum); err != nil {
+				return err
+			}
+			if !anyAfter(snap, i) {
+				break
+			}
+		}
+		cum += snap.Buckets[histBuckets]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelBody(joinLabels(s.labels, `le="+Inf"`)), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, labelBody(s.labels), snap.Sum.Seconds()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelBody(s.labels), cum)
+		return err
+	}
+}
+
+// anyAfter reports whether any bucket strictly after i is non-empty
+// (including overflow).
+func anyAfter(s HistogramSnapshot, i int) bool {
+	for j := i + 1; j < histAllBuckets; j++ {
+		if s.Buckets[j] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func labelBody(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// Quantiles is the conventional service-latency triple read from one
+// histogram snapshot.
+type Quantiles struct {
+	P50  time.Duration `json:"p50Ns"`
+	P99  time.Duration `json:"p99Ns"`
+	P999 time.Duration `json:"p999Ns"`
+}
+
+// QuantilesOf computes p50/p99/p999 from one coherent snapshot.
+func QuantilesOf(h *Histogram) Quantiles {
+	s := h.Snapshot()
+	return Quantiles{P50: s.Quantile(0.50), P99: s.Quantile(0.99), P999: s.Quantile(0.999)}
+}
+
+// ExactQuantile returns the q-quantile of raw samples (nearest-rank with
+// linear interpolation) — the helper aodbench's -percentiles mode uses where
+// exact values matter more than lock-freedom. Mutates samples (sorts).
+func ExactQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	if q <= 0 {
+		return samples[0]
+	}
+	if q >= 1 {
+		return samples[len(samples)-1]
+	}
+	pos := q * float64(len(samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return samples[lo]
+	}
+	frac := pos - float64(lo)
+	return samples[lo]*(1-frac) + samples[hi]*frac
+}
+
+// sanitizeLabel escapes a value for use inside a Prometheus label.
+func sanitizeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Label renders one key="value" label pair, escaping the value.
+func Label(k, v string) string { return k + `="` + sanitizeLabel(v) + `"` }

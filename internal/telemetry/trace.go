@@ -1,0 +1,397 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within a trace. IDs are allocated sequentially
+// per trace, so they double as creation order.
+type SpanID uint64
+
+// Span is one recorded stage of a job. Offsets are measured from the trace's
+// start on the monotonic clock, so spans within one process never go
+// backwards; spans imported from another process (AddRemote) are re-based
+// onto this trace's clock at the moment of import and are accurate up to the
+// RPC's network skew (documented where they are attached).
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"` // 0 = root
+	Name   string `json:"name"`
+	// Label carries one free-form attribute rendered next to the name
+	// ("level 3", "worker 127.0.0.1:7001", ...).
+	Label string `json:"label,omitempty"`
+	// Start and Duration are offsets/lengths in nanoseconds from trace start.
+	Start    time.Duration `json:"startNs"`
+	Duration time.Duration `json:"durationNs"`
+	// Attrs holds numeric facts about the stage (task counts, cache hits).
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+	// Remote marks spans imported from another process.
+	Remote bool `json:"remote,omitempty"`
+}
+
+// Trace collects the spans of one job. All methods are safe for concurrent
+// use, and all methods are no-ops on a nil receiver — code paths thread a
+// *Trace unconditionally and pay one nil check when tracing is off.
+type Trace struct {
+	id    string
+	began time.Time // monotonic anchor
+
+	mu    sync.Mutex
+	spans []Span
+	next  atomic.Uint64
+}
+
+// NewTrace starts a trace. id is the externally visible trace identifier
+// (the service uses the job ID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, began: time.Now()}
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// now returns the current offset from trace start.
+func (t *Trace) now() time.Duration { return time.Since(t.began) }
+
+// ActiveSpan is a span that has started but not finished. End it exactly
+// once; Attr/SetLabel may be called until then.
+type ActiveSpan struct {
+	t      *Trace
+	id     SpanID
+	parent SpanID
+	start  time.Duration
+	name   string
+
+	mu    sync.Mutex
+	label string
+	attrs map[string]int64
+	done  bool
+}
+
+// Start opens a span under parent (0 for a root span). Nil-safe: on a nil
+// trace it returns nil, and every ActiveSpan method is nil-safe too.
+func (t *Trace) Start(parent SpanID, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{
+		t:      t,
+		id:     SpanID(t.next.Add(1)),
+		parent: parent,
+		start:  t.now(),
+		name:   name,
+	}
+}
+
+// StartUnder opens a span with the parent taken from an enclosing
+// ActiveSpan (nil parent = root).
+func (t *Trace) StartUnder(parent *ActiveSpan, name string) *ActiveSpan {
+	return t.Start(parent.ID(), name)
+}
+
+// ID returns the span's ID (0 on nil).
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetLabel sets the span's display label.
+func (s *ActiveSpan) SetLabel(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.label = fmt.Sprintf(format, args...)
+	s.mu.Unlock()
+}
+
+// Attr records one numeric attribute (last write wins).
+func (s *ActiveSpan) Attr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64, 4)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// End finishes the span and commits it to the trace. Safe to call more than
+// once (only the first takes effect) and on nil.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	span := Span{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Label:    s.label,
+		Start:    s.start,
+		Duration: s.t.now() - s.start,
+		Attrs:    s.attrs,
+	}
+	s.mu.Unlock()
+	s.t.commit(span)
+}
+
+func (t *Trace) commit(span Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, span)
+	t.mu.Unlock()
+}
+
+// Event records an instantaneous (zero-duration) span under parent.
+func (t *Trace) Event(parent SpanID, name, label string) {
+	if t == nil {
+		return
+	}
+	t.commit(Span{
+		ID:     SpanID(t.next.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Label:  label,
+		Start:  t.now(),
+	})
+}
+
+// WireSpan is a span serialized for cross-process stitching. Offsets are
+// relative to the REMOTE process's own clock zero (the moment it began
+// serving the request batch), so the importer re-bases them under a local
+// anchor span.
+type WireSpan struct {
+	Name     string           `json:"name"`
+	Label    string           `json:"label,omitempty"`
+	StartNs  int64            `json:"startNs"`
+	DurNs    int64            `json:"durNs"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+	Children []WireSpan       `json:"children,omitempty"`
+}
+
+// AddRemote imports wire spans under the given local parent span, re-basing
+// their offsets so the earliest remote span starts where the parent starts.
+// Clock skew between processes is absorbed by the re-basing: relative
+// timings within the remote batch are exact, the absolute alignment is
+// approximate (bounded by the RPC round trip the parent span measures).
+func (t *Trace) AddRemote(parent SpanID, spans []WireSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	base := t.baseOf(parent)
+	var minStart int64 = spans[0].StartNs
+	for _, ws := range spans {
+		if ws.StartNs < minStart {
+			minStart = ws.StartNs
+		}
+	}
+	for _, ws := range spans {
+		t.addRemoteOne(parent, base, minStart, ws)
+	}
+}
+
+// baseOf returns the local start offset of span id (trace-now if unknown).
+func (t *Trace) baseOf(id SpanID) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		if t.spans[i].ID == id {
+			return t.spans[i].Start
+		}
+	}
+	return t.now()
+}
+
+func (t *Trace) addRemoteOne(parent SpanID, base time.Duration, remoteZero int64, ws WireSpan) {
+	id := SpanID(t.next.Add(1))
+	t.commit(Span{
+		ID:       id,
+		Parent:   parent,
+		Name:     ws.Name,
+		Label:    ws.Label,
+		Start:    base + time.Duration(ws.StartNs-remoteZero),
+		Duration: time.Duration(ws.DurNs),
+		Attrs:    ws.Attrs,
+		Remote:   true,
+	})
+	for _, child := range ws.Children {
+		t.addRemoteOne(id, base, remoteZero, child)
+	}
+}
+
+// Spans returns a copy of the committed spans in start order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TreeNode is a span with its children resolved, for JSON trace surfaces.
+type TreeNode struct {
+	Span
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire shape of GET /jobs/{id}/trace.
+type TraceJSON struct {
+	TraceID string      `json:"traceId"`
+	Spans   []*TreeNode `json:"spans"` // roots
+}
+
+// Tree assembles the committed spans into root-level trees. Orphans (parent
+// never committed, e.g. a span still open) are promoted to roots so the
+// output is always complete.
+func (t *Trace) Tree() TraceJSON {
+	out := TraceJSON{TraceID: t.ID()}
+	spans := t.Spans()
+	nodes := make(map[SpanID]*TreeNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &TreeNode{Span: spans[i]}
+	}
+	for _, n := range nodes {
+		if n.Parent != 0 {
+			if p, ok := nodes[n.Parent]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+	}
+	for i := range spans {
+		n := nodes[spans[i].ID]
+		if n.Parent == 0 || nodes[n.Parent] == nil {
+			out.Spans = append(out.Spans, n)
+		}
+	}
+	for _, n := range nodes {
+		sortTree(n)
+	}
+	return out
+}
+
+func sortTree(n *TreeNode) {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		if n.Children[i].Start != n.Children[j].Start {
+			return n.Children[i].Start < n.Children[j].Start
+		}
+		return n.Children[i].ID < n.Children[j].ID
+	})
+}
+
+// MarshalTree is Tree() serialized, the body of the trace endpoint.
+func (t *Trace) MarshalTree() ([]byte, error) {
+	return json.MarshalIndent(t.Tree(), "", "  ")
+}
+
+// WriteText renders the trace as an indented human-readable stage breakdown
+// (the aodiscover -trace surface).
+func (t *Trace) WriteText(w io.Writer) {
+	if t == nil {
+		return
+	}
+	tree := t.Tree()
+	fmt.Fprintf(w, "trace %s\n", tree.TraceID)
+	for _, n := range tree.Spans {
+		writeTextNode(w, n, 0)
+	}
+}
+
+func writeTextNode(w io.Writer, n *TreeNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	name := n.Name
+	if n.Label != "" {
+		name += " [" + n.Label + "]"
+	}
+	marker := ""
+	if n.Remote {
+		marker = " (remote)"
+	}
+	fmt.Fprintf(w, "%s%-*s %10s  @%s%s%s\n",
+		indent, 32-2*depth, name,
+		fmtDur(n.Duration), fmtDur(n.Start), fmtAttrs(n.Attrs), marker)
+	for _, c := range n.Children {
+		writeTextNode(w, c, depth+1)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+func fmtAttrs(attrs map[string]int64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, attrs[k])
+	}
+	return "  {" + strings.Join(parts, " ") + "}"
+}
+
+// Context propagation: one key carries (trace, current parent span).
+
+type ctxKey struct{}
+
+type ctxVal struct {
+	trace  *Trace
+	parent SpanID
+}
+
+// NewContext returns ctx carrying the trace and parent span. A nil trace
+// returns ctx unchanged, keeping FromContext's zero path cheap.
+func NewContext(ctx context.Context, t *Trace, parent SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{trace: t, parent: parent})
+}
+
+// FromContext extracts the trace and parent span (nil, 0 when absent).
+func FromContext(ctx context.Context) (*Trace, SpanID) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.trace, v.parent
+	}
+	return nil, 0
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace("job-1")
+	root := tr.Start(0, "job")
+	child := tr.StartUnder(root, "discover")
+	grand := tr.StartUnder(child, "level")
+	grand.SetLabel("level %d", 2)
+	grand.Attr("tasks", 17)
+	grand.End()
+	child.End()
+	root.End()
+
+	tree := tr.Tree()
+	if tree.TraceID != "job-1" {
+		t.Fatalf("trace id = %q", tree.TraceID)
+	}
+	if len(tree.Spans) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tree.Spans))
+	}
+	r := tree.Spans[0]
+	if r.Name != "job" || len(r.Children) != 1 {
+		t.Fatalf("bad root: %+v", r)
+	}
+	c := r.Children[0]
+	if c.Name != "discover" || len(c.Children) != 1 {
+		t.Fatalf("bad child: %+v", c)
+	}
+	g := c.Children[0]
+	if g.Label != "level 2" || g.Attrs["tasks"] != 17 {
+		t.Fatalf("bad grandchild: %+v", g)
+	}
+	if g.Start < c.Start {
+		t.Fatal("child starts before parent")
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	s := tr.Start(0, "x")
+	if s != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetLabel("l")
+	s.Attr("k", 1)
+	s.End()
+	s.End()
+	if s.ID() != 0 {
+		t.Fatal("nil span has an ID")
+	}
+	tr.Event(0, "e", "")
+	tr.AddRemote(0, []WireSpan{{Name: "r"}})
+	if tr.Spans() != nil {
+		t.Fatal("nil trace has spans")
+	}
+	tr.WriteText(&strings.Builder{})
+	ctx := NewContext(context.Background(), tr, 0)
+	if got, _ := FromContext(ctx); got != nil {
+		t.Fatal("nil trace leaked into context")
+	}
+}
+
+func TestTraceDoubleEnd(t *testing.T) {
+	tr := NewTrace("t")
+	s := tr.Start(0, "x")
+	s.End()
+	s.End()
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("double End committed %d spans", n)
+	}
+}
+
+func TestTraceRemoteRebasing(t *testing.T) {
+	tr := NewTrace("t")
+	rpc := tr.Start(0, "rpc")
+	time.Sleep(2 * time.Millisecond)
+	rpc.End()
+
+	// Worker-side spans on the worker's own clock: zero at 5s (arbitrary
+	// skew), one parent with one child 1ms in.
+	remote := []WireSpan{{
+		Name:    "worker-exec",
+		Label:   "trace-echo",
+		StartNs: int64(5 * time.Second),
+		DurNs:   int64(3 * time.Millisecond),
+		Attrs:   map[string]int64{"tasks": 9},
+		Children: []WireSpan{{
+			Name:    "partition",
+			StartNs: int64(5*time.Second + time.Millisecond),
+			DurNs:   int64(time.Millisecond),
+		}},
+	}}
+	tr.AddRemote(rpc.ID(), remote)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	var exec, part *Span
+	for i := range spans {
+		switch spans[i].Name {
+		case "worker-exec":
+			exec = &spans[i]
+		case "partition":
+			part = &spans[i]
+		}
+	}
+	if exec == nil || part == nil {
+		t.Fatal("remote spans missing")
+	}
+	if !exec.Remote || !part.Remote {
+		t.Fatal("remote spans not marked remote")
+	}
+	// Re-based: earliest remote span starts where the rpc span starts, and
+	// the child keeps its 1ms relative offset.
+	rpcStart := tr.Tree().Spans[0].Start
+	if exec.Start != rpcStart {
+		t.Errorf("exec start %v, want rpc start %v (skew not absorbed)", exec.Start, rpcStart)
+	}
+	if got := part.Start - exec.Start; got != time.Millisecond {
+		t.Errorf("relative child offset %v, want 1ms", got)
+	}
+	if exec.Attrs["tasks"] != 9 || exec.Label != "trace-echo" {
+		t.Errorf("attrs/label lost in import: %+v", exec)
+	}
+	// The child hangs under the imported parent in the tree.
+	tree := tr.Tree()
+	if len(tree.Spans) != 1 || len(tree.Spans[0].Children) != 1 || len(tree.Spans[0].Children[0].Children) != 1 {
+		b, _ := json.Marshal(tree)
+		t.Fatalf("tree shape wrong: %s", b)
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	tr := NewTrace("t")
+	root := tr.Start(0, "root")
+	ctx := NewContext(context.Background(), tr, root.ID())
+	got, parent := FromContext(ctx)
+	if got != tr || parent != root.ID() {
+		t.Fatal("context round trip lost trace or parent")
+	}
+	if got2, p2 := FromContext(context.Background()); got2 != nil || p2 != 0 {
+		t.Fatal("empty context returned a trace")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("t")
+	root := tr.Start(0, "root")
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.Start(root.ID(), "w")
+			s.Attr("i", int64(i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != n+1 {
+		t.Fatalf("spans = %d, want %d", len(spans), n+1)
+	}
+	seen := map[SpanID]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestTraceOrphanPromotion(t *testing.T) {
+	tr := NewTrace("t")
+	// Child committed while parent is still open: must surface as a root
+	// rather than vanish.
+	open := tr.Start(0, "still-open")
+	child := tr.Start(open.ID(), "done-early")
+	child.End()
+	tree := tr.Tree()
+	if len(tree.Spans) != 1 || tree.Spans[0].Name != "done-early" {
+		t.Fatalf("orphan not promoted: %+v", tree.Spans)
+	}
+	open.End()
+}
+
+func TestTraceWriteText(t *testing.T) {
+	tr := NewTrace("abc123")
+	s := tr.Start(0, "discover")
+	lvl := tr.StartUnder(s, "level")
+	lvl.SetLabel("level 1")
+	lvl.Attr("tasks", 3)
+	lvl.End()
+	s.End()
+	var b strings.Builder
+	tr.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"trace abc123", "discover", "level [level 1]", "tasks=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -22,6 +22,10 @@ type ShardPoolOptions struct {
 	StragglerAfter time.Duration
 	// Logf, when non-nil, receives one line per notable pool event.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the pool's RPC latency histogram and
+	// retry/re-dispatch counters (aod_shard_*). Pass the same registry to
+	// service.Config.Metrics to serve both from one /metrics endpoint.
+	Metrics *MetricsRegistry
 }
 
 // ShardPool is a pool of aodworker processes that discovery jobs can slice
@@ -46,6 +50,7 @@ func DialShardPool(addrs []string, opts ShardPoolOptions) *ShardPool {
 		CallTimeout:    opts.CallTimeout,
 		StragglerAfter: opts.StragglerAfter,
 		Logf:           opts.Logf,
+		Metrics:        opts.Metrics,
 	})}
 }
 

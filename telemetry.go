@@ -1,0 +1,13 @@
+package aod
+
+import "aod/internal/telemetry"
+
+// MetricsRegistry collects counters, gauges, and latency histograms and
+// renders them in the Prometheus text exposition format. One registry can be
+// shared across subsystems — the aodserver passes the same registry to its
+// discovery service and its shard pool so GET /metrics shows both — and all
+// operations are safe for concurrent use.
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
