@@ -1,0 +1,159 @@
+// Command aodload is an open-loop load generator for aodserver.
+//
+// It fires discovery traffic at a live server on a fixed or Poisson schedule
+// that does not slow down when the server does — so queueing delay shows up
+// in the measured latencies instead of silently throttling the offered load.
+// Dataset popularity is zipf-skewed and the traffic is a configurable mix of
+// cache-hit polls, small discovery jobs, and time-boxed large jobs, each
+// landing in the matching server-side aod_job_seconds{class=...} histogram.
+//
+// The run's report is aod-bench/v1 JSON (the same schema aodbench emits), so
+// -baseline/-tolerance gate service latency regressions in CI exactly like
+// micro-benchmark regressions:
+//
+//	aodload -server http://127.0.0.1:8711 -duration 10s -rate 200 \
+//	  -zipf 0.99 -mix cachehit=70,small=25,large=5 -seed 42 \
+//	  -out LOAD.json -baseline BENCH_7.json -tolerance 1.0
+//
+// Exit status: 0 on a clean run, 1 when the baseline gate fails, 2 on any
+// operational error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aod/internal/bench"
+	"aod/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		server       = flag.String("server", "http://127.0.0.1:8711", "base URL of a running aodserver")
+		duration     = flag.Duration("duration", 10*time.Second, "offered-traffic window")
+		rate         = flag.Float64("rate", 200, "arrival rate in requests/second")
+		arrival      = flag.String("arrival", "poisson", "arrival process: poisson or fixed")
+		zipf         = flag.Float64("zipf", 0.99, "zipf exponent for dataset popularity (0 = uniform)")
+		mixFlag      = flag.String("mix", load.DefaultMix().String(), "traffic mix as class=weight pairs")
+		seed         = flag.Int64("seed", 42, "seed for the request plan (same seed, same sequence)")
+		datasets     = flag.Int("datasets", 8, "number of small datasets in the popularity universe")
+		large        = flag.Int("large", 2, "number of large datasets in the popularity universe")
+		largeTimeBox = flag.Duration("large-timebox", 300*time.Millisecond, "time limit per large job (bounds its cost; partial results)")
+		drain        = flag.Duration("drain", 60*time.Second, "how long to wait for in-flight requests after the last arrival")
+		out          = flag.String("out", "", "write the aod-bench/v1 report to this file ('-' or empty: stdout)")
+		baseline     = flag.String("baseline", "", "gate against this aod-bench/v1 snapshot (e.g. BENCH_7.json)")
+		tolerance    = flag.Float64("tolerance", 1.0, "allowed latency growth vs -baseline (1.0 = fail past 2x)")
+		planOnly     = flag.Bool("plan-only", false, "print the deterministic request plan and exit without contacting the server")
+	)
+	flag.Parse()
+
+	mix, err := load.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodload:", err)
+		return 2
+	}
+	cfg := load.Config{
+		Server:        *server,
+		Rate:          *rate,
+		Duration:      *duration,
+		Arrival:       load.Arrival(*arrival),
+		Zipf:          *zipf,
+		Mix:           mix,
+		Seed:          *seed,
+		SmallDatasets: *datasets,
+		LargeDatasets: *large,
+		LargeTimeBox:  *largeTimeBox,
+		Drain:         *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "aodload: "+format+"\n", args...)
+		},
+	}
+
+	if *planOnly {
+		plan, err := load.BuildPlan(cfg.PlanConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aodload:", err)
+			return 2
+		}
+		if err := load.WritePlan(os.Stdout, plan); err != nil {
+			fmt.Fprintln(os.Stderr, "aodload:", err)
+			return 2
+		}
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, sum, err := load.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodload:", err)
+		return 2
+	}
+	printSummary(sum)
+
+	if err := writeReport(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "aodload:", err)
+		return 2
+	}
+
+	if *baseline != "" {
+		base, err := bench.LoadJSON(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aodload:", err)
+			return 2
+		}
+		regressions, notes := bench.CompareReports(base, rep, *tolerance)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "aodload: note:", n)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "aodload: %d service regression(s) vs %s:\n", len(regressions), *baseline)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "aodload: no service regressions vs %s (tolerance %+.0f%%)\n", *baseline, *tolerance*100)
+	}
+	return 0
+}
+
+func printSummary(sum load.Summary) {
+	fmt.Fprintf(os.Stderr, "aodload: %d/%d requests dispatched, run took %s\n",
+		sum.Dispatched, sum.Planned, sum.Elapsed.Round(time.Millisecond))
+	for _, c := range sum.Client {
+		fmt.Fprintf(os.Stderr, "  %-8s client: %5d ok %4d shed %3d failed %3d errors %3d timed out  p50 %s  p99 %s  p999 %s\n",
+			c.Class, c.Completed, c.Shed, c.Failed, c.ProtocolErrors, c.TimedOut,
+			c.P50.Round(time.Microsecond), c.P99.Round(time.Microsecond), c.P999.Round(time.Microsecond))
+	}
+	for _, s := range sum.Server {
+		fmt.Fprintf(os.Stderr, "  %-8s server: %5d observed  p50 %s  p99 %s  p999 %s\n",
+			s.Class, s.Count,
+			s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.P999.Round(time.Microsecond))
+	}
+}
+
+func writeReport(path string, rep bench.JSONReport) error {
+	if path == "" || path == "-" {
+		return bench.EncodeReport(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.EncodeReport(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

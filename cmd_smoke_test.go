@@ -2,10 +2,12 @@ package aod
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
@@ -746,5 +748,127 @@ func TestTelemetryBinaryE2E(t *testing.T) {
 		if code, body := httpGet(t, url); code != 200 || !strings.Contains(body, "goroutine") {
 			t.Errorf("GET %s: status %d", url, code)
 		}
+	}
+}
+
+// TestAODLoadSmoke boots the real aodserver and fires a short open-loop
+// burst at it with the real aodload binary, then checks the emitted
+// aod-bench/v1 report end to end: every traffic class completed requests,
+// nothing hit a protocol error, and both client- and server-observed
+// latency quantiles are present and ordered.
+func TestAODLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	srvBin := buildAODServer(t, dir)
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	loadBin := filepath.Join(dir, "aodload")
+	if runtime.GOOS == "windows" {
+		loadBin += ".exe"
+	}
+	if msg, err := exec.Command(goBin, "build", "-o", loadBin, "./cmd/aodload").CombinedOutput(); err != nil {
+		t.Fatalf("building aodload: %v\n%s", err, msg)
+	}
+
+	// -max-jobs -1 keeps finished jobs around so late stream attaches cannot
+	// race history pruning during the burst.
+	base, _ := startAODServer(t, srvBin, "-workers", "2", "-queue", "256", "-max-jobs", "-1")
+
+	reportPath := filepath.Join(dir, "load.json")
+	args := []string{
+		"-server", base, "-duration", "2s", "-rate", "50",
+		"-zipf", "0.99", "-mix", "cachehit=70,small=25,large=5",
+		"-seed", "42", "-large-timebox", "200ms", "-out", reportPath,
+	}
+	if msg, err := exec.Command(loadBin, args...).CombinedOutput(); err != nil {
+		t.Fatalf("aodload %v: %v\n%s", args, err, msg)
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema  string `json:"schema"`
+		Seed    int64  `json:"seed"`
+		Results []struct {
+			Name        string  `json:"name"`
+			Count       uint64  `json:"count"`
+			Errors      uint64  `json:"errors"`
+			Shed        uint64  `json:"shed"`
+			P50NsPerOp  float64 `json:"p50NsPerOp"`
+			P99NsPerOp  float64 `json:"p99NsPerOp"`
+			P999NsPerOp float64 `json:"p999NsPerOp"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != "aod-bench/v1" {
+		t.Fatalf("report schema %q, want aod-bench/v1", rep.Schema)
+	}
+	if rep.Seed != 42 {
+		t.Errorf("report seed %d, want 42", rep.Seed)
+	}
+
+	rows := map[string]int{}
+	for i, r := range rep.Results {
+		rows[r.Name] = i
+	}
+	for _, class := range []string{"cachehit", "small", "large"} {
+		for _, side := range []string{"client", "server"} {
+			name := "load-" + class + "/" + side
+			i, ok := rows[name]
+			if !ok {
+				t.Errorf("report missing workload %q", name)
+				continue
+			}
+			r := rep.Results[i]
+			if r.Count == 0 {
+				t.Errorf("%s: zero completed requests", name)
+			}
+			if r.Errors != 0 {
+				t.Errorf("%s: %d protocol/job errors, want 0", name, r.Errors)
+			}
+			if r.P50NsPerOp <= 0 || r.P99NsPerOp < r.P50NsPerOp || r.P999NsPerOp < r.P99NsPerOp {
+				t.Errorf("%s: quantiles not positive and ordered: p50=%g p99=%g p999=%g",
+					name, r.P50NsPerOp, r.P99NsPerOp, r.P999NsPerOp)
+			}
+			// Sanity ceiling: nothing in a 2s loopback burst should take a
+			// minute.
+			if r.P999NsPerOp > float64(time.Minute) {
+				t.Errorf("%s: p999 %.0f ns is implausible for a loopback burst", name, r.P999NsPerOp)
+			}
+		}
+		// The two views describe the same traffic: completed counts agree
+		// (every client-completed request was observed by exactly one server
+		// histogram).
+		ci, si := rows["load-"+class+"/client"], rows["load-"+class+"/server"]
+		if rep.Results[ci].Count != rep.Results[si].Count {
+			t.Errorf("%s: client completed %d but server observed %d",
+				class, rep.Results[ci].Count, rep.Results[si].Count)
+		}
+	}
+
+	// Same seed, same plan: the -plan-only surface is byte-identical across
+	// invocations and never contacts the server.
+	planArgs := []string{"-plan-only", "-duration", "2s", "-rate", "50", "-zipf", "0.99", "-seed", "42"}
+	plan1, err := exec.Command(loadBin, planArgs...).Output()
+	if err != nil {
+		t.Fatalf("aodload -plan-only: %v", err)
+	}
+	plan2, err := exec.Command(loadBin, planArgs...).Output()
+	if err != nil {
+		t.Fatalf("aodload -plan-only: %v", err)
+	}
+	if !bytes.Equal(plan1, plan2) {
+		t.Error("same seed produced different request plans")
+	}
+	if len(bytes.TrimSpace(plan1)) == 0 {
+		t.Error("empty request plan")
 	}
 }

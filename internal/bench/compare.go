@@ -24,11 +24,14 @@ func LoadJSON(path string) (JSONReport, error) {
 
 // CompareReports diffs current against baseline workload by workload (joined
 // on name, the cross-snapshot stable key) and returns one description per
-// regression: a named workload whose ns/op grew by more than tolerance
-// (0.20 = fail past +20%). Improvements and workloads present in only one
-// snapshot never fail — new workloads must be able to land, and retired ones
-// to leave — but missing baseline workloads are reported so a rename cannot
-// silently drop a gate.
+// regression: a named workload whose ns/op — or, when both snapshots carry a
+// tail reading, whose p99 ns/op — grew by more than tolerance (0.20 = fail
+// past +20%). Gating the tail alongside the median matters for service-load
+// snapshots, where a queueing pathology can leave the median flat while p99
+// explodes. Improvements and workloads present in only one snapshot never
+// fail — new workloads must be able to land, and retired ones to leave — but
+// missing baseline workloads are reported so a rename cannot silently drop a
+// gate.
 func CompareReports(baseline, current JSONReport, tolerance float64) (regressions, notes []string) {
 	cur := make(map[string]JSONResult, len(current.Results))
 	for _, r := range current.Results {
@@ -40,15 +43,27 @@ func CompareReports(baseline, current JSONReport, tolerance float64) (regression
 			notes = append(notes, fmt.Sprintf("workload %q in baseline but not measured now", base.Name))
 			continue
 		}
-		if base.NsPerOp <= 0 {
-			continue // a zero baseline cannot gate anything
+		if r := gateMetric(base.Name, "ns/op", base.NsPerOp, now.NsPerOp, tolerance); r != "" {
+			regressions = append(regressions, r)
 		}
-		ratio := now.NsPerOp / base.NsPerOp
-		if ratio > 1+tolerance {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
-				base.Name, now.NsPerOp, base.NsPerOp, (ratio-1)*100, tolerance*100))
+		if r := gateMetric(base.Name, "p99 ns/op", base.P99NsPerOp, now.P99NsPerOp, tolerance); r != "" {
+			regressions = append(regressions, r)
 		}
 	}
 	return regressions, notes
+}
+
+// gateMetric applies the tolerance to one (baseline, current) metric pair; a
+// non-positive baseline cannot gate anything (zero means "not recorded" for
+// the optional tail fields, and a zero median has nothing to divide by).
+func gateMetric(name, metric string, base, now, tolerance float64) string {
+	if base <= 0 {
+		return ""
+	}
+	ratio := now / base
+	if ratio <= 1+tolerance {
+		return ""
+	}
+	return fmt.Sprintf("%s: %.0f %s vs baseline %.0f %s (%+.1f%%, tolerance %+.0f%%)",
+		name, now, metric, base, metric, (ratio-1)*100, tolerance*100)
 }

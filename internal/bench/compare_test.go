@@ -38,3 +38,38 @@ func TestCompareReportsExactBoundary(t *testing.T) {
 		t.Errorf("+20%% at 0.20 tolerance must pass, got %v", regs)
 	}
 }
+
+func TestCompareReportsGatesP99(t *testing.T) {
+	base := JSONReport{Schema: JSONSchema, Results: []JSONResult{
+		{Name: "load-small/client", NsPerOp: 100, P99NsPerOp: 1000},
+		{Name: "load-large/client", NsPerOp: 100, P99NsPerOp: 1000},
+		{Name: "median-only", NsPerOp: 100}, // no tail recorded in baseline
+	}}
+	cur := JSONReport{Schema: JSONSchema, Results: []JSONResult{
+		// Median flat, tail blown: the queueing-pathology shape the p99 gate
+		// exists for.
+		{Name: "load-small/client", NsPerOp: 101, P99NsPerOp: 5000},
+		{Name: "load-large/client", NsPerOp: 101, P99NsPerOp: 1100},
+		{Name: "median-only", NsPerOp: 101, P99NsPerOp: 9999},
+	}}
+	regs, _ := CompareReports(base, cur, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the load-small p99", regs)
+	}
+	if !strings.Contains(regs[0], "load-small/client") || !strings.Contains(regs[0], "p99") {
+		t.Errorf("regression %q should name load-small/client's p99", regs[0])
+	}
+}
+
+func TestCompareReportsBothMetricsRegress(t *testing.T) {
+	base := JSONReport{Schema: JSONSchema, Results: []JSONResult{
+		{Name: "w", NsPerOp: 100, P99NsPerOp: 1000},
+	}}
+	cur := JSONReport{Schema: JSONSchema, Results: []JSONResult{
+		{Name: "w", NsPerOp: 300, P99NsPerOp: 3000},
+	}}
+	regs, _ := CompareReports(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("want both the median and p99 regressions reported, got %v", regs)
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzCompareReports drives the aod-bench/v1 reader and comparator with
+// arbitrary bytes: snapshots come from CI artifacts and repo files, so a
+// corrupt or adversarial file must fail with an error, never a panic — and
+// whatever DecodeReport accepts must survive an encode/decode round trip
+// unchanged (the schema has no lossy fields).
+func FuzzCompareReports(f *testing.F) {
+	f.Add([]byte(`{}`), []byte(`{}`), 0.2)
+	f.Add([]byte(`null`), []byte(`[]`), -1.0)
+	f.Add(
+		[]byte(`{"schema":"aod-bench/v1","results":[{"name":"a","nsPerOp":100,"p99NsPerOp":200}]}`),
+		[]byte(`{"schema":"aod-bench/v1","results":[{"name":"a","nsPerOp":130,"p99NsPerOp":900,"count":12,"shed":3,"errors":1,"ratePerSec":5.5}]}`),
+		0.2,
+	)
+	f.Add(
+		[]byte(`{"schema":"aod-bench/v1","results":[{"name":"dup"},{"name":"dup"},{"name":""}]}`),
+		[]byte(`{"schema":"aod-bench/v1","results":[{"name":"dup","nsPerOp":1e308},{"nsPerOp":-5}]}`),
+		1e300,
+	)
+	f.Add([]byte(`{"schema":"aod-bench/v1","results":[{"name":"n","nsPerOp":1e-300,"p999NsPerOp":1}]}`), []byte(`{"schema":"aod-bench/v1"}`), 0.0)
+
+	f.Fuzz(func(t *testing.T, baseData, curData []byte, tolerance float64) {
+		base, baseErr := DecodeReport(bytes.NewReader(baseData))
+		cur, curErr := DecodeReport(bytes.NewReader(curData))
+
+		// CompareReports must tolerate any pair of decoded reports — including
+		// the half-filled structs that come back alongside an error.
+		regressions, notes := CompareReports(base, cur, tolerance)
+		for _, s := range append(regressions, notes...) {
+			if s == "" {
+				t.Fatal("empty regression/note string")
+			}
+		}
+
+		// Round trip: anything the reader accepts re-encodes to an equivalent
+		// report.
+		for _, rep := range []struct {
+			rep JSONReport
+			err error
+		}{{base, baseErr}, {cur, curErr}} {
+			if rep.err != nil {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := EncodeReport(&buf, rep.rep); err != nil {
+				t.Fatalf("encode of decoded report failed: %v", err)
+			}
+			again, err := DecodeReport(&buf)
+			if err != nil {
+				t.Fatalf("re-decode of encoded report failed: %v", err)
+			}
+			if !reflect.DeepEqual(normalize(rep.rep), normalize(again)) {
+				t.Fatalf("round trip not lossless:\n first: %+v\nsecond: %+v", rep.rep, again)
+			}
+		}
+	})
+}
+
+// normalize erases representation-only differences that a JSON round trip is
+// allowed to introduce: nil vs empty results slice, and the timestamp's
+// location pointer (DeepEqual compares *time.Location identity, and every
+// parse of a "+hh:mm" offset allocates a fresh fixed zone).
+func normalize(r JSONReport) JSONReport {
+	if len(r.Results) == 0 {
+		r.Results = nil
+	}
+	r.GeneratedAt = r.GeneratedAt.UTC()
+	return r
+}
+
+func TestDecodeReportRejectsWrongSchema(t *testing.T) {
+	_, err := DecodeReport(strings.NewReader(`{"schema":"aod-bench/v2"}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+	if _, err := DecodeReport(strings.NewReader(`{not json`)); err == nil {
+		t.Fatal("want decode error for malformed JSON")
+	}
+}

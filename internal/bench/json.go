@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -41,6 +42,19 @@ type JSONResult struct {
 	Runs       int     `json:"runs,omitempty"`
 	P50NsPerOp float64 `json:"p50NsPerOp,omitempty"`
 	P99NsPerOp float64 `json:"p99NsPerOp,omitempty"`
+	// The remaining fields appear only in service-load snapshots (aodload):
+	// there a "workload" is one traffic class against a live server, the
+	// quantiles are per-request latencies rather than run-to-run spread, and
+	// the counters partition how the offered requests fared.
+	P999NsPerOp float64 `json:"p999NsPerOp,omitempty"`
+	// Count is the number of requests that completed successfully.
+	Count uint64 `json:"count,omitempty"`
+	// Errors counts failed jobs plus client-side protocol errors.
+	Errors uint64 `json:"errors,omitempty"`
+	// Shed counts requests the server rejected with backpressure (503).
+	Shed uint64 `json:"shed,omitempty"`
+	// RatePerSec is completed requests per second of offered-traffic window.
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
 }
 
 // JSONReport is the file-level envelope.
@@ -201,6 +215,12 @@ func RunJSON(w io.Writer, log io.Writer, seed int64) error {
 // comparable against single-run snapshots under -baseline), and P50NsPerOp /
 // P99NsPerOp capture the run-to-run latency spread. runs ≤ 1 degenerates to
 // the plain single-measurement snapshot.
+//
+// Each run regenerates the workload datasets from its own seed — run 0 uses
+// the base seed (so -percentiles and single-run snapshots share inputs) and
+// later runs draw seeds from one RNG derived from it. The spread therefore
+// reflects input variation as well as machine noise, rather than re-timing
+// one frozen dataset N times.
 func RunJSONPercentiles(w io.Writer, log io.Writer, seed int64, runs int) error {
 	if runs < 1 {
 		runs = 1
@@ -212,10 +232,22 @@ func RunJSONPercentiles(w io.Writer, log io.Writer, seed int64, runs int) error 
 		GoArch:      runtime.GOARCH,
 		Seed:        seed,
 	}
-	for _, wl := range jsonWorkloads(seed) {
-		samples := make([]float64, 0, runs)
-		var jr JSONResult
-		for i := 0; i < runs; i++ {
+	seedRng := rand.New(rand.NewSource(seed))
+	type acc struct {
+		samples []float64
+		jr      JSONResult
+	}
+	var accs []acc
+	for run := 0; run < runs; run++ {
+		runSeed := seed
+		if run > 0 {
+			runSeed = seedRng.Int63()
+		}
+		wls := jsonWorkloads(runSeed)
+		if accs == nil {
+			accs = make([]acc, len(wls))
+		}
+		for i, wl := range wls {
 			r := testing.Benchmark(wl.fn)
 			if r.N == 0 {
 				// A failed workload (b.Fatal) yields a zero BenchmarkResult;
@@ -223,9 +255,9 @@ func RunJSONPercentiles(w io.Writer, log io.Writer, seed int64, runs int) error 
 				return fmt.Errorf("bench: workload %q failed", wl.name)
 			}
 			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
-			samples = append(samples, nsPerOp)
-			if i == 0 {
-				jr = JSONResult{
+			accs[i].samples = append(accs[i].samples, nsPerOp)
+			if run == 0 {
+				accs[i].jr = JSONResult{
 					Name:        wl.name,
 					Iterations:  r.N,
 					NsPerOp:     nsPerOp,
@@ -234,10 +266,13 @@ func RunJSONPercentiles(w io.Writer, log io.Writer, seed int64, runs int) error 
 				}
 			}
 		}
+	}
+	for i := range accs {
+		jr := accs[i].jr
 		if runs > 1 {
 			jr.Runs = runs
-			jr.P50NsPerOp = telemetry.ExactQuantile(samples, 0.50)
-			jr.P99NsPerOp = telemetry.ExactQuantile(samples, 0.99)
+			jr.P50NsPerOp = telemetry.ExactQuantile(accs[i].samples, 0.50)
+			jr.P99NsPerOp = telemetry.ExactQuantile(accs[i].samples, 0.99)
 			jr.NsPerOp = jr.P50NsPerOp
 		}
 		rep.Results = append(rep.Results, jr)
@@ -248,6 +283,29 @@ func RunJSONPercentiles(w io.Writer, log io.Writer, seed int64, runs int) error 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// EncodeReport writes a report as indented JSON — the same formatting every
+// BENCH_<n>.json snapshot uses, so diffs stay minimal.
+func EncodeReport(w io.Writer, rep JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// DecodeReport parses an aod-bench/v1 report from r, rejecting other
+// schemas. It is the reader half of EncodeReport and what LoadJSON uses
+// under the hood.
+func DecodeReport(r io.Reader) (JSONReport, error) {
+	var rep JSONReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: decode report: %w", err)
+	}
+	if rep.Schema != JSONSchema {
+		return rep, fmt.Errorf("bench: unsupported schema %q (want %q)", rep.Schema, JSONSchema)
+	}
+	return rep, nil
 }
 
 func writeJSONLine(log io.Writer, r JSONResult) {

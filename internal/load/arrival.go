@@ -1,0 +1,107 @@
+package load
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Arrival selects the arrival process of the open-loop schedule.
+type Arrival string
+
+const (
+	// ArrivalPoisson spaces requests by exponential interarrival gaps —
+	// memoryless production-shaped traffic with natural bursts.
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalFixed spaces requests exactly 1/rate apart — a metronome, useful
+	// when isolating the server's own variance from arrival variance.
+	ArrivalFixed Arrival = "fixed"
+)
+
+// Offsets generates the arrival schedule: the time offset of every request
+// from the start of the run, for the given mean rate (requests/second) over
+// duration. Poisson gaps are drawn from rng (deterministic per seed); fixed
+// gaps consume no randomness. The schedule is precomputed so that planning is
+// independent of execution — the open-loop property starts here: nothing
+// about a slow server can feed back into when the next request is due.
+func Offsets(arrival Arrival, rate float64, duration time.Duration, rng *rand.Rand) []time.Duration {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	var offs []time.Duration
+	switch arrival {
+	case ArrivalFixed:
+		interval := float64(time.Second) / rate
+		for i := 0; ; i++ {
+			at := time.Duration(float64(i+1) * interval)
+			if at > duration {
+				break
+			}
+			offs = append(offs, at)
+		}
+	default: // Poisson
+		var at float64
+		for {
+			// Exponential gap with mean 1/rate; 1-U avoids log(0).
+			gap := -math.Log(1-rng.Float64()) / rate * float64(time.Second)
+			at += gap
+			if time.Duration(at) > duration {
+				break
+			}
+			offs = append(offs, time.Duration(at))
+		}
+	}
+	return offs
+}
+
+// Clock abstracts the scheduler's time source so the open-loop contract is
+// testable against a fake clock: Now anchors the schedule, SleepUntil parks
+// the scheduler until an absolute deadline (returning immediately if it is
+// already past).
+type Clock interface {
+	Now() time.Time
+	SleepUntil(t time.Time)
+}
+
+// RealClock is the wall-clock Clock used outside tests.
+type RealClock struct{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// SleepUntil sleeps until t (no-op if t has passed).
+func (RealClock) SleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// RunOpenLoop fires fire(i) for every schedule offset at start+offsets[i],
+// each in its own goroutine, and returns once the last arrival has been
+// dispatched. The returned WaitGroup drains the in-flight fires.
+//
+// This is the open-loop contract: the scheduler NEVER waits on a fire. A
+// stalled server stalls the fire goroutines, not the arrival process — late
+// arrivals are dispatched immediately (SleepUntil of a past deadline returns
+// at once), so offered load stays at the configured rate and queueing delay
+// becomes visible in the latency measurements instead of silently thinning
+// the traffic. Canceling ctx stops dispatching further arrivals.
+func RunOpenLoop(ctx context.Context, clock Clock, offsets []time.Duration, fire func(i int)) (dispatched int, wg *sync.WaitGroup) {
+	wg = &sync.WaitGroup{}
+	start := clock.Now()
+	for i, off := range offsets {
+		if ctx.Err() != nil {
+			break
+		}
+		clock.SleepUntil(start.Add(off))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fire(i)
+		}(i)
+		dispatched++
+	}
+	return dispatched, wg
+}

@@ -1,0 +1,174 @@
+package load
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock auto-advances: SleepUntil jumps now to the deadline instead of
+// parking, so scheduler tests run in microseconds of wall time while still
+// exercising the real deadline arithmetic.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) SleepUntil(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+func TestOffsetsFixedCountMatchesRate(t *testing.T) {
+	for _, tc := range []struct {
+		rate     float64
+		duration time.Duration
+		want     int
+	}{
+		{100, time.Second, 100},
+		{200, 10 * time.Second, 2000},
+		{50, 2 * time.Second, 100},
+		{1, 500 * time.Millisecond, 0},
+	} {
+		offs := Offsets(ArrivalFixed, tc.rate, tc.duration, nil)
+		if len(offs) != tc.want {
+			t.Errorf("Offsets(fixed, %v, %v): %d arrivals, want %d", tc.rate, tc.duration, len(offs), tc.want)
+		}
+		for i := 1; i < len(offs); i++ {
+			if offs[i] <= offs[i-1] {
+				t.Fatalf("offsets not strictly increasing at %d: %v then %v", i, offs[i-1], offs[i])
+			}
+		}
+		if len(offs) > 0 && offs[len(offs)-1] > tc.duration {
+			t.Errorf("last offset %v past duration %v", offs[len(offs)-1], tc.duration)
+		}
+	}
+}
+
+func TestOffsetsPoissonMeanRate(t *testing.T) {
+	// Over a long window the realized count concentrates around
+	// rate*duration; 5 sigma of a Poisson(10000) is ±500.
+	rng := rand.New(rand.NewSource(7))
+	offs := Offsets(ArrivalPoisson, 100, 100*time.Second, rng)
+	mean := 10000.0
+	if d := math.Abs(float64(len(offs)) - mean); d > 500 {
+		t.Errorf("poisson arrivals: %d, want within 500 of %.0f", len(offs), mean)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			t.Fatalf("offsets decreasing at %d", i)
+		}
+	}
+}
+
+func TestOffsetsPoissonDeterministic(t *testing.T) {
+	a := Offsets(ArrivalPoisson, 50, 5*time.Second, rand.New(rand.NewSource(42)))
+	b := Offsets(ArrivalPoisson, 50, 5*time.Second, rand.New(rand.NewSource(42)))
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunOpenLoopDispatchesWholeSchedule(t *testing.T) {
+	clock := newFakeClock()
+	start := clock.Now()
+	offs := Offsets(ArrivalFixed, 1000, time.Second, nil)
+
+	var mu sync.Mutex
+	fired := 0
+	dispatched, wg := RunOpenLoop(context.Background(), clock, offs, func(i int) {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	wg.Wait()
+
+	if dispatched != len(offs) || fired != len(offs) {
+		t.Fatalf("dispatched %d, fired %d, want %d", dispatched, fired, len(offs))
+	}
+	// The fake clock ends exactly at the last deadline: the scheduler slept
+	// to each arrival and nowhere else.
+	if got, want := clock.Now(), start.Add(offs[len(offs)-1]); !got.Equal(want) {
+		t.Errorf("clock ended at %v, want %v", got, want)
+	}
+}
+
+// TestRunOpenLoopStalledFireDoesNotSlowArrivals is the open-loop property
+// itself: every fire blocks indefinitely (a fully stalled server), yet all
+// arrivals dispatch on schedule.
+func TestRunOpenLoopStalledFireDoesNotSlowArrivals(t *testing.T) {
+	clock := newFakeClock()
+	start := clock.Now()
+	offs := Offsets(ArrivalFixed, 100, time.Second, nil)
+
+	release := make(chan struct{})
+	dispatched, wg := RunOpenLoop(context.Background(), clock, offs, func(i int) {
+		<-release // stalled until the test says otherwise
+	})
+
+	// RunOpenLoop has returned: every arrival was dispatched even though not
+	// a single fire has completed, and the clock advanced only through the
+	// schedule, not through any server stall.
+	if dispatched != len(offs) {
+		t.Fatalf("dispatched %d arrivals, want %d", dispatched, len(offs))
+	}
+	if got, want := clock.Now(), start.Add(offs[len(offs)-1]); !got.Equal(want) {
+		t.Errorf("clock ended at %v, want %v — arrivals were delayed by stalled fires", got, want)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+// cancelingClock cancels a context during the nth SleepUntil — SleepUntil
+// runs synchronously in the scheduler loop, so the cutoff is deterministic.
+type cancelingClock struct {
+	*fakeClock
+	sleeps int
+	at     int
+	cancel context.CancelFunc
+}
+
+func (c *cancelingClock) SleepUntil(t time.Time) {
+	c.sleeps++
+	if c.sleeps == c.at {
+		c.cancel()
+	}
+	c.fakeClock.SleepUntil(t)
+}
+
+func TestRunOpenLoopCancelStopsDispatch(t *testing.T) {
+	offs := Offsets(ArrivalFixed, 100, time.Second, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	clock := &cancelingClock{fakeClock: newFakeClock(), at: 10, cancel: cancel}
+
+	dispatched, wg := RunOpenLoop(ctx, clock, offs, func(i int) {})
+	wg.Wait()
+
+	// The 10th arrival's sleep canceled the context: that arrival still
+	// dispatches (the check precedes the sleep) and the 11th does not.
+	if dispatched != 10 {
+		t.Errorf("dispatched %d arrivals after cancel during the 10th sleep, want exactly 10", dispatched)
+	}
+}

@@ -1,0 +1,191 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"aod"
+)
+
+// Client is a thin aodserver API client tuned for many concurrent in-flight
+// requests: connections are pooled per host well past net/http's default of
+// two, since an open-loop run at rate R holds O(R × latency) streams open.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server base URL (e.g.
+// "http://127.0.0.1:8711").
+func NewClient(base string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{base: base, hc: &http.Client{Transport: tr}}
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("load: server %s unreachable: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: %s/healthz returned %d", c.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// UploadCSV uploads a dataset body under name and returns the dataset id.
+// Re-uploading identical content is idempotent on the server (200 vs 201).
+func (c *Client) UploadCSV(ctx context.Context, name string, csv []byte) (string, error) {
+	u := c.base + "/datasets?name=" + url.QueryEscape(name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(csv))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("load: uploading %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return "", fmt.Errorf("load: uploading %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", fmt.Errorf("load: decoding upload response: %w", err)
+	}
+	if info.ID == "" {
+		return "", fmt.Errorf("load: upload of %s returned no dataset id", name)
+	}
+	return info.ID, nil
+}
+
+// Submit posts a discovery job. shed reports the server's backpressure signal
+// (503, queue full) — expected under open-loop overload and accounted
+// separately from protocol errors.
+func (c *Client) Submit(ctx context.Context, datasetID string, opts aod.Options) (jobID string, shed bool, err error) {
+	body, err := json.Marshal(struct {
+		DatasetID string      `json:"datasetId"`
+		Options   aod.Options `json:"options"`
+	}{datasetID, opts})
+	if err != nil {
+		return "", false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", false, fmt.Errorf("load: submitting job: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return "", true, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return "", false, fmt.Errorf("load: submit returned %d: %s", resp.StatusCode, msg)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return "", false, fmt.Errorf("load: decoding submit response: %w", err)
+	}
+	if job.ID == "" {
+		return "", false, fmt.Errorf("load: submit returned no job id")
+	}
+	return job.ID, false, nil
+}
+
+// AwaitDone blocks until the job reaches a terminal state, using the
+// server's NDJSON stream endpoint as a push-based wait (one request, no
+// polling interval noise in the latency measurement). It returns the final
+// state ("done", "failed", "canceled").
+func (c *Client) AwaitDone(ctx context.Context, jobID string) (state string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("load: streaming job %s: %w", jobID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return "", fmt.Errorf("load: stream of %s returned %d: %s", jobID, resp.StatusCode, msg)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // reports ride along on events
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Type  string `json:"type"`
+			State string `json:"state"`
+			Error string `json:"error,omitempty"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return "", fmt.Errorf("load: malformed stream event for %s: %w", jobID, err)
+		}
+		if ev.Type == "done" {
+			if ev.State == "" {
+				return "", fmt.Errorf("load: job %s ended without a state: %s", jobID, ev.Error)
+			}
+			return ev.State, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("load: stream of %s: %w", jobID, err)
+	}
+	return "", fmt.Errorf("load: stream of %s ended without a done event", jobID)
+}
+
+// Metrics fetches the server's Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("load: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("load: /metrics returned %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,93 @@
+package load
+
+import (
+	"sync"
+	"time"
+
+	"aod/internal/telemetry"
+)
+
+// Collector accumulates client-observed outcomes per traffic class. All
+// methods are safe for concurrent use by the fire goroutines.
+type Collector struct {
+	mu      sync.Mutex
+	classes [numClasses]classAcc
+}
+
+type classAcc struct {
+	samples   []float64 // end-to-end latency of completed requests, ns
+	completed uint64
+	shed      uint64 // 503: server backpressure
+	failed    uint64 // job reached failed/canceled
+	errors    uint64 // client-side protocol errors (unexpected status, bad frames)
+	timedOut  uint64 // still in flight when the drain deadline passed
+}
+
+// Observe records one completed request's end-to-end latency.
+func (c *Collector) Observe(class Class, d time.Duration) {
+	c.mu.Lock()
+	acc := &c.classes[class]
+	acc.completed++
+	acc.samples = append(acc.samples, float64(d))
+	c.mu.Unlock()
+}
+
+// Shed records one 503-rejected request.
+func (c *Collector) Shed(class Class) { c.count(class, func(a *classAcc) { a.shed++ }) }
+
+// Failed records a job that terminated failed or canceled.
+func (c *Collector) Failed(class Class) { c.count(class, func(a *classAcc) { a.failed++ }) }
+
+// ProtocolError records a client-side protocol error.
+func (c *Collector) ProtocolError(class Class) { c.count(class, func(a *classAcc) { a.errors++ }) }
+
+// TimedOut records a request abandoned at the drain deadline.
+func (c *Collector) TimedOut(class Class) { c.count(class, func(a *classAcc) { a.timedOut++ }) }
+
+func (c *Collector) count(class Class, f func(*classAcc)) {
+	c.mu.Lock()
+	f(&c.classes[class])
+	c.mu.Unlock()
+}
+
+// ClassResult is the per-class client-side summary of a finished run.
+type ClassResult struct {
+	Class          Class         `json:"class"`
+	Completed      uint64        `json:"completed"`
+	Shed           uint64        `json:"shed"`
+	Failed         uint64        `json:"failed"`
+	ProtocolErrors uint64        `json:"protocolErrors"`
+	TimedOut       uint64        `json:"timedOut"`
+	P50            time.Duration `json:"p50Ns"`
+	P99            time.Duration `json:"p99Ns"`
+	P999           time.Duration `json:"p999Ns"`
+}
+
+// Results summarizes every class: completed counts, error partitions, and
+// exact client-observed p50/p99/p999 over the raw samples.
+func (c *Collector) Results() []ClassResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ClassResult, 0, numClasses)
+	for _, class := range Classes() {
+		acc := &c.classes[class]
+		r := ClassResult{
+			Class:          class,
+			Completed:      acc.completed,
+			Shed:           acc.shed,
+			Failed:         acc.failed,
+			ProtocolErrors: acc.errors,
+			TimedOut:       acc.timedOut,
+		}
+		if len(acc.samples) > 0 {
+			// ExactQuantile sorts in place; work on a copy so Results is
+			// repeatable.
+			samples := append([]float64(nil), acc.samples...)
+			r.P50 = time.Duration(telemetry.ExactQuantile(samples, 0.50))
+			r.P99 = time.Duration(telemetry.ExactQuantile(samples, 0.99))
+			r.P999 = time.Duration(telemetry.ExactQuantile(samples, 0.999))
+		}
+		out = append(out, r)
+	}
+	return out
+}

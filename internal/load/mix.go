@@ -1,0 +1,120 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Class is one traffic class of the load mix. The names line up with the
+// server's aod_job_seconds{class=...} histogram labels, so client-observed
+// and server-observed latency join on the same key.
+type Class int
+
+const (
+	// CacheHit re-submits a configuration warmed at setup: the server answers
+	// from its result cache without a validation run.
+	CacheHit Class = iota
+	// Small submits a fresh small discovery job (admission estimate below the
+	// server's small/large split) — every request validates.
+	Small
+	// Large submits a fresh time-boxed crawl of a large dataset (admission
+	// estimate past the split): bounded latency, never cached, always
+	// classified large by the server.
+	Large
+	numClasses
+)
+
+// Classes lists every traffic class in canonical order.
+func Classes() []Class { return []Class{CacheHit, Small, Large} }
+
+// String returns the class label shared with the server's histograms.
+func (c Class) String() string {
+	switch c {
+	case CacheHit:
+		return "cachehit"
+	case Small:
+		return "small"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Mix is the traffic composition as integer weights per class.
+type Mix struct {
+	weights [numClasses]int
+	total   int
+}
+
+// DefaultMix is the canonical production-shaped composition: mostly cache-hit
+// polls, a steady stream of small jobs, a trickle of large crawls.
+func DefaultMix() Mix {
+	m, _ := ParseMix("cachehit=70,small=25,large=5")
+	return m
+}
+
+// ParseMix parses "cachehit=70,small=25,large=5". Weights are non-negative
+// integers (a class may be omitted or zero); at least one must be positive.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: mix entry %q is not class=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: mix weight %q must be a non-negative integer", val)
+		}
+		var c Class
+		switch strings.TrimSpace(name) {
+		case "cachehit":
+			c = CacheHit
+		case "small":
+			c = Small
+		case "large":
+			c = Large
+		default:
+			return Mix{}, fmt.Errorf("load: unknown traffic class %q (want cachehit, small, large)", name)
+		}
+		m.weights[c] += w
+	}
+	for _, w := range m.weights {
+		m.total += w
+	}
+	if m.total == 0 {
+		return Mix{}, fmt.Errorf("load: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// Weight returns the class's weight.
+func (m Mix) Weight(c Class) int { return m.weights[c] }
+
+// String renders the mix back in flag form.
+func (m Mix) String() string {
+	parts := make([]string, 0, numClasses)
+	for _, c := range Classes() {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, m.weights[c]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Pick draws one class from the mix using rng.
+func (m Mix) Pick(rng *rand.Rand) Class {
+	n := rng.Intn(m.total)
+	for _, c := range Classes() {
+		if n < m.weights[c] {
+			return c
+		}
+		n -= m.weights[c]
+	}
+	return Large // unreachable
+}

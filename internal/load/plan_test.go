@@ -1,0 +1,164 @@
+package load
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func planConfig() PlanConfig {
+	return PlanConfig{
+		Rate:          200,
+		Duration:      10 * time.Second,
+		Arrival:       ArrivalPoisson,
+		Mix:           DefaultMix(),
+		Zipf:          0.99,
+		SmallDatasets: 8,
+		LargeDatasets: 2,
+		Seed:          42,
+	}
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	a, err := BuildPlan(planConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(planConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same config, different plan lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// And the rendered -plan-only surface is byte-identical.
+	var bufA, bufB bytes.Buffer
+	if err := WritePlan(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("WritePlan output differs for identical plans")
+	}
+}
+
+func TestBuildPlanSeedChangesSequence(t *testing.T) {
+	a, _ := BuildPlan(planConfig())
+	cfg := planConfig()
+	cfg.Seed = 43
+	b, _ := BuildPlan(cfg)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical plans")
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	plan, err := BuildPlan(planConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	var counts [numClasses]int
+	for i, r := range plan {
+		if r.Seq != i {
+			t.Fatalf("request %d has Seq %d", i, r.Seq)
+		}
+		if i > 0 && r.At < plan[i-1].At {
+			t.Fatalf("arrival times decrease at %d", i)
+		}
+		if r.At <= 0 || r.At > 10*time.Second {
+			t.Fatalf("request %d arrives at %v, outside (0, 10s]", i, r.At)
+		}
+		limit := 8
+		if r.Class == Large {
+			limit = 2
+		}
+		if r.Dataset < 0 || r.Dataset >= limit {
+			t.Fatalf("request %d (%s) targets dataset %d, universe size %d", i, r.Class, r.Dataset, limit)
+		}
+		counts[r.Class]++
+	}
+	// Realized class shares track the 70/25/5 mix; ±6 sigma of the binomial.
+	n := float64(len(plan))
+	for _, tc := range []struct {
+		class Class
+		p     float64
+	}{{CacheHit, 0.70}, {Small, 0.25}, {Large, 0.05}} {
+		got := float64(counts[tc.class]) / n
+		sigma := math.Sqrt(tc.p * (1 - tc.p) / n)
+		if math.Abs(got-tc.p) > 6*sigma {
+			t.Errorf("%s share %.3f, want %.2f ± %.3f", tc.class, got, tc.p, 6*sigma)
+		}
+	}
+}
+
+func TestBuildPlanValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*PlanConfig){
+		"zero rate":     func(c *PlanConfig) { c.Rate = 0 },
+		"zero duration": func(c *PlanConfig) { c.Duration = 0 },
+		"empty mix":     func(c *PlanConfig) { c.Mix = Mix{} },
+		"no small":      func(c *PlanConfig) { c.SmallDatasets = 0 },
+		"no large":      func(c *PlanConfig) { c.LargeDatasets = 0 },
+		"bad zipf":      func(c *PlanConfig) { c.Zipf = -1 },
+	} {
+		cfg := planConfig()
+		mutate(&cfg)
+		if _, err := BuildPlan(cfg); err == nil {
+			t.Errorf("%s: BuildPlan accepted invalid config", name)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("cachehit=70,small=25,large=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight(CacheHit) != 70 || m.Weight(Small) != 25 || m.Weight(Large) != 5 {
+		t.Fatalf("parsed weights %d/%d/%d", m.Weight(CacheHit), m.Weight(Small), m.Weight(Large))
+	}
+	if got := m.String(); got != "cachehit=70,small=25,large=5" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "cachehit", "cachehit=-1", "bogus=10", "cachehit=0,small=0,large=0", "cachehit=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted invalid mix", bad)
+		}
+	}
+	// A single-class mix only ever picks that class.
+	only, err := ParseMix("small=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(PlanConfig{
+		Rate: 100, Duration: time.Second, Arrival: ArrivalFixed,
+		Mix: only, SmallDatasets: 4, LargeDatasets: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range plan {
+		if r.Class != Small {
+			t.Fatalf("single-class mix produced %s", r.Class)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package load
+
+import (
+	"bufio"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HistSnapshot is one scraped Prometheus histogram series: cumulative
+// observation counts at ascending upper bounds (seconds), with the +Inf
+// bucket last (Bounds holds math.Inf(1) for it). It mirrors — through the
+// text exposition — what telemetry.HistogramSnapshot holds in-process.
+type HistSnapshot struct {
+	Bounds []float64 // ascending; +Inf last when present
+	Cum    []uint64  // cumulative count at each bound
+	Sum    float64   // seconds
+	Count  uint64
+}
+
+// ParseHistograms extracts every series of the named histogram family from
+// Prometheus text exposition, keyed by the series' "class" label value (""
+// for an unlabeled series). Unknown lines are skipped, so the parser is
+// robust to whatever else shares the scrape.
+func ParseHistograms(text, family string) map[string]HistSnapshot {
+	out := make(map[string]*HistSnapshot)
+	get := func(class string) *HistSnapshot {
+		h, ok := out[class]
+		if !ok {
+			h = &HistSnapshot{}
+			out[class] = h
+		}
+		return h
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		var kind string
+		switch {
+		case strings.HasPrefix(rest, "_bucket"):
+			kind, rest = "bucket", rest[len("_bucket"):]
+		case strings.HasPrefix(rest, "_sum"):
+			kind, rest = "sum", rest[len("_sum"):]
+		case strings.HasPrefix(rest, "_count"):
+			kind, rest = "count", rest[len("_count"):]
+		default:
+			continue // a different family sharing the prefix
+		}
+		labels, value, ok := splitSeries(rest)
+		if !ok {
+			continue
+		}
+		class := labelValue(labels, "class")
+		switch kind {
+		case "bucket":
+			leStr := labelValue(labels, "le")
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					continue
+				}
+			}
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				continue
+			}
+			h := get(class)
+			h.Bounds = append(h.Bounds, le)
+			h.Cum = append(h.Cum, n)
+		case "sum":
+			if f, err := strconv.ParseFloat(value, 64); err == nil {
+				get(class).Sum = f
+			}
+		case "count":
+			if n, err := strconv.ParseUint(value, 10, 64); err == nil {
+				get(class).Count = n
+			}
+		}
+	}
+	res := make(map[string]HistSnapshot, len(out))
+	for class, h := range out {
+		// Exposition order is ascending already; sort defensively (stable
+		// pairing of bounds and cums).
+		idx := make([]int, len(h.Bounds))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return h.Bounds[idx[a]] < h.Bounds[idx[b]] })
+		sorted := HistSnapshot{Sum: h.Sum, Count: h.Count}
+		for _, i := range idx {
+			sorted.Bounds = append(sorted.Bounds, h.Bounds[i])
+			sorted.Cum = append(sorted.Cum, h.Cum[i])
+		}
+		res[class] = sorted
+	}
+	return res
+}
+
+// splitSeries splits `{label="a",...} 42` or ` 42` into (labels, value).
+func splitSeries(rest string) (labels, value string, ok bool) {
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", "", false
+		}
+		labels, rest = rest[1:end], rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", false
+	}
+	// Drop an optional timestamp column.
+	if i := strings.IndexByte(value, ' '); i >= 0 {
+		value = value[:i]
+	}
+	return labels, value, true
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label body.
+func labelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || strings.TrimSpace(k) != key {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		v = strings.TrimPrefix(v, `"`)
+		v = strings.TrimSuffix(v, `"`)
+		v = strings.ReplaceAll(v, `\"`, `"`)
+		v = strings.ReplaceAll(v, `\n`, "\n")
+		return strings.ReplaceAll(v, `\\`, `\`)
+	}
+	return ""
+}
+
+// cumAt returns the snapshot's cumulative count at bound b. The exposition
+// emits every finite bucket up to the last non-empty one and then +Inf, so a
+// bound past the emitted finite range saturates at the total count and a
+// bound below the first emitted one is zero.
+func (h HistSnapshot) cumAt(b float64) uint64 {
+	i := sort.SearchFloat64s(h.Bounds, b)
+	if i < len(h.Bounds) && h.Bounds[i] == b {
+		return h.Cum[i]
+	}
+	if len(h.Bounds) == 0 || b < h.Bounds[0] {
+		return 0
+	}
+	return h.Count // past every emitted bound: saturated
+}
+
+// Sub returns the histogram of observations recorded after `before` was
+// taken — the bucket-wise difference of two cumulative snapshots of the same
+// monotonically growing series. This is how a run isolates its own traffic
+// from whatever the server observed earlier (warmup, previous runs).
+func (h HistSnapshot) Sub(before HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Cum:    make([]uint64, len(h.Cum)),
+		Sum:    h.Sum - before.Sum,
+	}
+	for i, b := range h.Bounds {
+		prev := before.cumAt(b)
+		if h.Cum[i] > prev {
+			out.Cum[i] = h.Cum[i] - prev
+		}
+	}
+	if h.Count > before.Count {
+		out.Count = h.Count - before.Count
+	}
+	return out
+}
+
+// Quantile computes the q-quantile (0..1) with linear interpolation inside
+// the containing bucket — the same estimator telemetry uses at read time, so
+// scraped and in-process numbers agree to bucket resolution. The +Inf bucket
+// reports the last finite bound (a lower bound on the truth).
+func (h HistSnapshot) Quantile(q float64) time.Duration {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var prevCum uint64
+	lastFinite := 0.0
+	for i, b := range h.Bounds {
+		if !math.IsInf(b, 1) {
+			lastFinite = b
+		}
+		n := h.Cum[i] - prevCum
+		if n > 0 && float64(h.Cum[i]) >= rank {
+			if math.IsInf(b, 1) {
+				return secondsToDuration(lastFinite)
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			frac := (rank - float64(prevCum)) / float64(n)
+			return secondsToDuration(lo + frac*(b-lo))
+		}
+		prevCum = h.Cum[i]
+	}
+	return secondsToDuration(lastFinite)
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,169 @@
+package load
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aod/internal/telemetry"
+)
+
+// scrape renders a registry the way /metrics does and parses it back.
+func scrape(t *testing.T, reg *telemetry.Registry, family string) map[string]HistSnapshot {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return ParseHistograms(sb.String(), family)
+}
+
+// TestParseHistogramsRoundTrip feeds real telemetry histograms through the
+// real text exposition and checks the scraped view agrees with the in-process
+// snapshot: same counts, and quantiles equal to bucket resolution.
+func TestParseHistogramsRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	classes := map[string][]time.Duration{
+		"cachehit": {50 * time.Microsecond, 80 * time.Microsecond, 120 * time.Microsecond, 5 * time.Millisecond},
+		"small":    {3 * time.Millisecond, 8 * time.Millisecond, 15 * time.Millisecond},
+		"large":    {300 * time.Millisecond, 450 * time.Millisecond, 2 * time.Second},
+	}
+	hists := map[string]*telemetry.Histogram{}
+	for class, samples := range classes {
+		h := reg.Histogram("aod_job_seconds", telemetry.Label("class", class), "test")
+		for _, d := range samples {
+			h.Observe(d)
+		}
+		hists[class] = h
+	}
+	// An unrelated family sharing the scrape must not confuse the parser.
+	reg.Counter("aod_jobs_total", telemetry.Label("class", "small"), "test").Add(99)
+
+	parsed := scrape(t, reg, "aod_job_seconds")
+	if len(parsed) != len(classes) {
+		t.Fatalf("parsed %d series, want %d", len(parsed), len(classes))
+	}
+	for class, samples := range classes {
+		got, ok := parsed[class]
+		if !ok {
+			t.Fatalf("class %q missing from parse", class)
+		}
+		if got.Count != uint64(len(samples)) {
+			t.Errorf("%s: count %d, want %d", class, got.Count, len(samples))
+		}
+		var wantSum float64
+		for _, d := range samples {
+			wantSum += d.Seconds()
+		}
+		if math.Abs(got.Sum-wantSum) > 1e-6 {
+			t.Errorf("%s: sum %.6f, want %.6f", class, got.Sum, wantSum)
+		}
+		// Scraped quantiles must match the in-process estimator: both
+		// interpolate inside the same power-of-two buckets.
+		want := telemetry.QuantilesOf(hists[class])
+		for _, q := range []struct {
+			q    float64
+			want time.Duration
+		}{{0.50, want.P50}, {0.99, want.P99}, {0.999, want.P999}} {
+			if got := got.Quantile(q.q); !closeDur(got, q.want) {
+				t.Errorf("%s p%g: scraped %v, in-process %v", class, q.q*100, got, q.want)
+			}
+		}
+	}
+}
+
+// closeDur tolerates the float64 seconds round-trip through text exposition.
+func closeDur(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) <= 1e-6*math.Max(1, math.Max(float64(a), float64(b)))
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("aod_job_seconds", telemetry.Label("class", "small"), "test")
+
+	h.Observe(2 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	before := scrape(t, reg, "aod_job_seconds")["small"]
+
+	h.Observe(3 * time.Millisecond)
+	h.Observe(700 * time.Millisecond) // extends the emitted bucket range
+	h.Observe(900 * time.Millisecond)
+	after := scrape(t, reg, "aod_job_seconds")["small"]
+
+	run := after.Sub(before)
+	if run.Count != 3 {
+		t.Fatalf("run count %d, want 3", run.Count)
+	}
+	if math.Abs(run.Sum-1.603) > 1e-6 {
+		t.Errorf("run sum %.6f, want 1.603", run.Sum)
+	}
+	// The run-only median sits in the high-latency observations' range, not
+	// dragged down by the pre-run traffic.
+	if p50 := run.Quantile(0.50); p50 < 100*time.Millisecond || p50 > time.Second {
+		t.Errorf("run p50 %v, want within the run's own observations", p50)
+	}
+	// Subtracting a snapshot from itself leaves nothing.
+	empty := after.Sub(after)
+	if empty.Count != 0 {
+		t.Errorf("self-diff count %d, want 0", empty.Count)
+	}
+	if empty.Quantile(0.99) != 0 {
+		t.Errorf("self-diff p99 %v, want 0", empty.Quantile(0.99))
+	}
+}
+
+func TestHistSnapshotSubShorterBefore(t *testing.T) {
+	// `before` was emitted when only low buckets were non-empty, so it has
+	// fewer bounds than `after` — cumAt must treat missing high bounds as
+	// saturated at before's total count.
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("aod_job_seconds", "", "test")
+	h.Observe(time.Millisecond)
+	before := scrape(t, reg, "aod_job_seconds")[""]
+
+	h.Observe(10 * time.Second)
+	after := scrape(t, reg, "aod_job_seconds")[""]
+	if len(after.Bounds) <= len(before.Bounds) {
+		t.Fatalf("test setup: after (%d bounds) should extend past before (%d)", len(after.Bounds), len(before.Bounds))
+	}
+
+	run := after.Sub(before)
+	if run.Count != 1 {
+		t.Fatalf("run count %d, want 1", run.Count)
+	}
+	if p50 := run.Quantile(0.50); p50 < 5*time.Second {
+		t.Errorf("run p50 %v, want ≥ 5s (the one new observation)", p50)
+	}
+}
+
+func TestParseHistogramsIgnoresJunk(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP aod_job_seconds latency",
+		"# TYPE aod_job_seconds histogram",
+		`aod_job_seconds_bucket{class="small",le="0.001"} 2`,
+		`aod_job_seconds_bucket{class="small",le="+Inf"} 3`,
+		`aod_job_seconds_sum{class="small"} 1.25`,
+		`aod_job_seconds_count{class="small"} 3`,
+		`aod_job_seconds_bucket{class="oops",le="nan-bound"} 1`, // bad bound: skipped
+		`aod_job_seconds_bucket{class="oops"`,                   // truncated line
+		"aod_job_seconds_extra 7",                               // unknown suffix
+		"totally unrelated junk",
+		"",
+	}, "\n")
+	parsed := ParseHistograms(text, "aod_job_seconds")
+	small, ok := parsed["small"]
+	if !ok {
+		t.Fatal("small series missing")
+	}
+	if small.Count != 3 || small.Sum != 1.25 || len(small.Bounds) != 2 {
+		t.Fatalf("parsed %+v", small)
+	}
+	if small.Cum[0] != 2 || small.Cum[1] != 3 {
+		t.Fatalf("cum %v", small.Cum)
+	}
+}

@@ -1,0 +1,410 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"aod"
+	"aod/internal/bench"
+	"aod/internal/service"
+)
+
+// jobSecondsFamily is the server histogram family the harness scrapes —
+// per-class end-to-end job latency, registered by internal/service.
+const jobSecondsFamily = "aod_job_seconds"
+
+// Config parameterizes one load run. Zero values select the documented
+// defaults (see withDefaults).
+type Config struct {
+	// Server is the aodserver base URL, e.g. "http://127.0.0.1:8711".
+	Server string
+	// Rate is the open-loop arrival rate in requests/second; Duration is the
+	// offered-traffic window (requests keep draining afterwards, see Drain).
+	Rate     float64
+	Duration time.Duration
+	// Arrival selects poisson (default) or fixed interarrival spacing.
+	Arrival Arrival
+	// Zipf is the dataset-popularity exponent (0 = uniform, 0.99 = classic
+	// web skew).
+	Zipf float64
+	// Mix is the traffic composition (DefaultMix when zero).
+	Mix Mix
+	// Seed makes the whole request sequence reproducible.
+	Seed int64
+	// SmallDatasets and LargeDatasets size the generated dataset universes.
+	SmallDatasets int
+	LargeDatasets int
+	// Shapes of the generated datasets. Small must classify below the
+	// server's small/large admission split, large at or above it — Run
+	// refuses shapes that would land traffic in the wrong histogram.
+	SmallRows, SmallAttrs int
+	LargeRows, LargeAttrs int
+	// LargeTimeBox bounds each large job (a time-boxed crawl): the job
+	// reports partial results at the deadline, keeping per-request cost
+	// bounded while still classifying — and queueing — as large.
+	LargeTimeBox time.Duration
+	// BaseThreshold is the discovery threshold of every job; fresh
+	// (non-cachehit) requests nudge it by a per-request epsilon so each one
+	// has a unique cache key and genuinely validates.
+	BaseThreshold float64
+	// Drain bounds how long Run waits for in-flight requests after the last
+	// arrival; requests still open at the deadline count as timed out.
+	Drain time.Duration
+	// Clock substitutes the scheduler's time source (tests); nil = wall clock.
+	Clock Clock
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Server == "" {
+		c.Server = "http://127.0.0.1:8711"
+	}
+	if c.Rate == 0 {
+		c.Rate = 200
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.Mix.total == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.SmallDatasets == 0 {
+		c.SmallDatasets = 8
+	}
+	if c.LargeDatasets == 0 {
+		c.LargeDatasets = 2
+	}
+	if c.SmallRows == 0 {
+		c.SmallRows = 2000
+	}
+	if c.SmallAttrs == 0 {
+		c.SmallAttrs = 8
+	}
+	if c.LargeRows == 0 {
+		c.LargeRows = 30000
+	}
+	if c.LargeAttrs == 0 {
+		c.LargeAttrs = 24
+	}
+	if c.LargeTimeBox == 0 {
+		c.LargeTimeBox = 300 * time.Millisecond
+	}
+	if c.BaseThreshold == 0 {
+		c.BaseThreshold = 0.10
+	}
+	if c.Drain == 0 {
+		c.Drain = 60 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// PlanConfig derives the request-planning parameters from the run config.
+func (c Config) PlanConfig() PlanConfig {
+	c = c.withDefaults()
+	return PlanConfig{
+		Rate:          c.Rate,
+		Duration:      c.Duration,
+		Arrival:       c.Arrival,
+		Mix:           c.Mix,
+		Zipf:          c.Zipf,
+		SmallDatasets: c.SmallDatasets,
+		LargeDatasets: c.LargeDatasets,
+		Seed:          c.Seed,
+	}
+}
+
+// validateShapes refuses dataset shapes whose admission estimate lands in
+// the wrong server-side latency class: the whole point of the harness is
+// that client class i maps onto aod_job_seconds{class=i}.
+func (c Config) validateShapes() error {
+	if small := aod.EstimateWork(c.SmallRows, c.SmallAttrs, 0); small >= service.SmallJobCost {
+		return fmt.Errorf("load: small shape %dx%d estimates %d ≥ the server's small/large split %d — it would classify large",
+			c.SmallRows, c.SmallAttrs, small, int64(service.SmallJobCost))
+	}
+	if large := aod.EstimateWork(c.LargeRows, c.LargeAttrs, 0); large < service.SmallJobCost {
+		return fmt.Errorf("load: large shape %dx%d estimates %d < the server's small/large split %d — it would classify small",
+			c.LargeRows, c.LargeAttrs, large, int64(service.SmallJobCost))
+	}
+	return nil
+}
+
+// ServerClass is the server-histogram view of one traffic class over the run
+// window (the diff of two /metrics scrapes).
+type ServerClass struct {
+	Class Class         `json:"class"`
+	Count uint64        `json:"count"`
+	P50   time.Duration `json:"p50Ns"`
+	P99   time.Duration `json:"p99Ns"`
+	P999  time.Duration `json:"p999Ns"`
+}
+
+// Summary is the human-facing result of a run; the machine-facing result is
+// the aod-bench/v1 report.
+type Summary struct {
+	Planned    int           `json:"planned"`
+	Dispatched int           `json:"dispatched"`
+	Elapsed    time.Duration `json:"elapsedNs"`
+	Client     []ClassResult `json:"client"`
+	Server     []ServerClass `json:"server"`
+}
+
+// TotalErrors sums client-side protocol errors across classes — zero on a
+// healthy run.
+func (s Summary) TotalErrors() uint64 {
+	var n uint64
+	for _, c := range s.Client {
+		n += c.ProtocolErrors
+	}
+	return n
+}
+
+// Run executes the full harness against a live aodserver: generate and
+// upload the dataset universes, warm the cache-hit keys, scrape a baseline
+// /metrics snapshot, fire the open-loop schedule, drain, scrape again, and
+// fold client- and server-observed latencies into one aod-bench/v1 report.
+func Run(ctx context.Context, cfg Config) (bench.JSONReport, Summary, error) {
+	cfg = cfg.withDefaults()
+	var rep bench.JSONReport
+	var sum Summary
+	if err := cfg.validateShapes(); err != nil {
+		return rep, sum, err
+	}
+	plan, err := BuildPlan(cfg.PlanConfig())
+	if err != nil {
+		return rep, sum, err
+	}
+	client := NewClient(cfg.Server)
+	if err := client.Health(ctx); err != nil {
+		return rep, sum, err
+	}
+
+	// Dataset universes. Seeds are derived per index so each member has
+	// distinct content (distinct fingerprint ⇒ distinct cache keys).
+	cfg.Logf("generating and uploading %d small + %d large datasets", cfg.SmallDatasets, cfg.LargeDatasets)
+	smallIDs := make([]string, cfg.SmallDatasets)
+	for i := range smallIDs {
+		ds := aod.Flight(cfg.SmallRows, cfg.SmallAttrs, cfg.Seed*1000+int64(i))
+		if smallIDs[i], err = uploadDataset(ctx, client, fmt.Sprintf("load-small-%d", i), ds); err != nil {
+			return rep, sum, err
+		}
+	}
+	largeIDs := make([]string, cfg.LargeDatasets)
+	for i := range largeIDs {
+		ds := aod.Flight(cfg.LargeRows, cfg.LargeAttrs, cfg.Seed*1000+500+int64(i))
+		if largeIDs[i], err = uploadDataset(ctx, client, fmt.Sprintf("load-large-%d", i), ds); err != nil {
+			return rep, sum, err
+		}
+	}
+
+	// Warm the cache-hit keys: one canonical-options job per small dataset,
+	// awaited, so cachehit traffic genuinely hits the result cache.
+	cfg.Logf("warming %d cache-hit keys", len(smallIDs))
+	warmOpts := aod.Options{Threshold: cfg.BaseThreshold}
+	for _, id := range smallIDs {
+		jobID, shed, err := client.Submit(ctx, id, warmOpts)
+		if err != nil {
+			return rep, sum, fmt.Errorf("warmup: %w", err)
+		}
+		if shed {
+			return rep, sum, fmt.Errorf("warmup: server shed a warmup job — raise its queue depth")
+		}
+		state, err := client.AwaitDone(ctx, jobID)
+		if err != nil {
+			return rep, sum, fmt.Errorf("warmup: %w", err)
+		}
+		if state != "done" {
+			return rep, sum, fmt.Errorf("warmup job %s ended %s", jobID, state)
+		}
+	}
+
+	// Baseline scrape: the run's server-side view is the diff against this,
+	// so warmup traffic (and anything before it) is excluded.
+	beforeText, err := client.Metrics(ctx)
+	if err != nil {
+		return rep, sum, err
+	}
+	before := ParseHistograms(beforeText, jobSecondsFamily)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &runner{cfg: cfg, client: client, smallIDs: smallIDs, largeIDs: largeIDs, ctx: runCtx}
+
+	cfg.Logf("firing %d requests over %s at %.0f req/s (%s arrivals, zipf %g, mix %s)",
+		len(plan), cfg.Duration, cfg.Rate, cfg.Arrival, cfg.Zipf, cfg.Mix)
+	start := time.Now()
+	dispatched, wg := RunOpenLoop(runCtx, cfg.Clock, offsetsOf(plan), func(i int) { r.fire(plan[i]) })
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.Drain):
+		cfg.Logf("drain deadline passed with requests still in flight — canceling them")
+		cancel()
+		<-done
+	case <-ctx.Done():
+		cancel()
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	afterText, err := client.Metrics(ctx)
+	if err != nil {
+		return rep, sum, err
+	}
+	after := ParseHistograms(afterText, jobSecondsFamily)
+
+	sum = Summary{Planned: len(plan), Dispatched: dispatched, Elapsed: elapsed, Client: r.col.Results()}
+	for _, class := range Classes() {
+		h := after[class.String()].Sub(before[class.String()])
+		sum.Server = append(sum.Server, ServerClass{
+			Class: class,
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		})
+	}
+	rep = buildReport(cfg, sum)
+	return rep, sum, nil
+}
+
+// offsetsOf projects the plan's arrival offsets for the scheduler.
+func offsetsOf(plan []Request) []time.Duration {
+	offs := make([]time.Duration, len(plan))
+	for i, r := range plan {
+		offs[i] = r.At
+	}
+	return offs
+}
+
+func uploadDataset(ctx context.Context, client *Client, name string, ds *aod.Dataset) (string, error) {
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		return "", err
+	}
+	return client.UploadCSV(ctx, name, buf.Bytes())
+}
+
+// runner holds the per-run state shared by the fire goroutines.
+type runner struct {
+	cfg      Config
+	client   *Client
+	smallIDs []string
+	largeIDs []string
+	ctx      context.Context
+	col      Collector
+	logOnce  sync.Once
+}
+
+// jitter is the per-request threshold nudge that gives every fresh request a
+// unique cache key: small enough (n·1e-9) to be semantically irrelevant,
+// large enough to survive the server's option canonicalization (options
+// marshal at full float64 precision).
+func jitter(seq int) float64 { return float64(seq+1) * 1e-9 }
+
+// spec derives the request's dataset id and options from its plan entry.
+func (r *runner) spec(req Request) (string, aod.Options) {
+	switch req.Class {
+	case CacheHit:
+		return r.smallIDs[req.Dataset], aod.Options{Threshold: r.cfg.BaseThreshold}
+	case Small:
+		return r.smallIDs[req.Dataset], aod.Options{Threshold: r.cfg.BaseThreshold + jitter(req.Seq)}
+	default:
+		return r.largeIDs[req.Dataset], aod.Options{
+			Threshold: r.cfg.BaseThreshold + jitter(req.Seq),
+			TimeLimit: r.cfg.LargeTimeBox,
+		}
+	}
+}
+
+// fire executes one planned request end to end and records its outcome.
+func (r *runner) fire(req Request) {
+	dsID, opts := r.spec(req)
+	t0 := time.Now()
+	jobID, shed, err := r.client.Submit(r.ctx, dsID, opts)
+	if shed {
+		r.col.Shed(req.Class)
+		return
+	}
+	if err != nil {
+		r.recordError(req.Class, err)
+		return
+	}
+	state, err := r.client.AwaitDone(r.ctx, jobID)
+	if err != nil {
+		r.recordError(req.Class, err)
+		return
+	}
+	if state == "done" {
+		r.col.Observe(req.Class, time.Since(t0))
+		return
+	}
+	r.col.Failed(req.Class)
+}
+
+// recordError partitions an error into drain-timeout (the run canceled the
+// request) vs genuine protocol error, logging the first of the latter.
+func (r *runner) recordError(class Class, err error) {
+	if r.ctx.Err() != nil {
+		r.col.TimedOut(class)
+		return
+	}
+	r.logOnce.Do(func() { r.cfg.Logf("first protocol error: %v", err) })
+	r.col.ProtocolError(class)
+}
+
+// buildReport folds the summary into the aod-bench/v1 schema: two entries
+// per class — load-<class>/client (exact quantiles over client clocks) and
+// load-<class>/server (the server histogram diff) — joined across snapshots
+// on those stable names by bench.CompareReports, which gates both the median
+// and the p99 entries.
+func buildReport(cfg Config, sum Summary) bench.JSONReport {
+	rep := bench.JSONReport{
+		Schema:      bench.JSONSchema,
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		Seed:        cfg.Seed,
+	}
+	for _, c := range sum.Client {
+		rep.Results = append(rep.Results, bench.JSONResult{
+			Name:        fmt.Sprintf("load-%s/client", c.Class),
+			Iterations:  int(c.Completed),
+			Count:       c.Completed,
+			Errors:      c.Failed + c.ProtocolErrors,
+			Shed:        c.Shed,
+			RatePerSec:  float64(c.Completed) / cfg.Duration.Seconds(),
+			NsPerOp:     float64(c.P50),
+			P50NsPerOp:  float64(c.P50),
+			P99NsPerOp:  float64(c.P99),
+			P999NsPerOp: float64(c.P999),
+		})
+	}
+	for _, s := range sum.Server {
+		rep.Results = append(rep.Results, bench.JSONResult{
+			Name:        fmt.Sprintf("load-%s/server", s.Class),
+			Iterations:  int(s.Count),
+			Count:       s.Count,
+			NsPerOp:     float64(s.P50),
+			P50NsPerOp:  float64(s.P50),
+			P99NsPerOp:  float64(s.P99),
+			P999NsPerOp: float64(s.P999),
+		})
+	}
+	return rep
+}

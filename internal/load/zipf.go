@@ -1,0 +1,72 @@
+// Package load is the open-loop service load harness behind cmd/aodload: a
+// deterministic request planner (arrival schedule, traffic-class mix,
+// zipf-skewed dataset popularity), an open-loop scheduler that fires requests
+// on time regardless of completion — so queueing delay is actually observed,
+// unlike closed-loop drivers that self-throttle to the server's pace — an
+// aodserver HTTP client, and collectors that merge client-observed latencies
+// with the server's own /metrics histograms into one aod-bench/v1 report.
+//
+// Everything random is drawn from one seeded RNG in arrival order, so a
+// (seed, rate, duration, mix, zipf) tuple names one exact request sequence:
+// two runs with the same configuration plan — and therefore send — identical
+// traffic, which is what makes service snapshots comparable across PRs.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^s — the standard
+// discrete zipf over a finite universe. s = 0 degenerates to uniform; larger
+// s concentrates mass on low ranks (s ≈ 1 is the classic web-popularity
+// skew). Sampling is inverse-CDF over a precomputed table, so a draw is one
+// Float64 plus a binary search, and the sequence is a deterministic function
+// of the *rand.Rand handed to Pick.
+type Zipf struct {
+	cdf []float64 // cdf[k] = P(rank ≤ k), cdf[n-1] == 1
+}
+
+// NewZipf builds the sampler for a universe of n ranks with exponent s ≥ 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("load: zipf universe must be positive, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("load: zipf exponent must be finite and ≥ 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	cdf[n-1] = 1 // defend the last bucket against rounding
+	return &Zipf{cdf: cdf}, nil
+}
+
+// N returns the universe size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Pick draws one rank in [0, N) using rng.
+func (z *Zipf) Pick(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the sampler's exact probability of rank k — the reference the
+// statistical tests (and any SLO math) compare empirical frequencies against.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

@@ -1,0 +1,121 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n  int
+		s  float64
+		ok bool
+	}{
+		{10, 0.99, true},
+		{1, 0, true},
+		{0, 0.99, false},
+		{-3, 0.99, false},
+		{10, -0.5, false},
+		{10, math.NaN(), false},
+		{10, math.Inf(1), false},
+	} {
+		_, err := NewZipf(tc.n, tc.s)
+		if (err == nil) != tc.ok {
+			t.Errorf("NewZipf(%d, %v): err=%v, want ok=%v", tc.n, tc.s, err, tc.ok)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z, err := NewZipf(64, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]int, 1000)
+	rng := rand.New(rand.NewSource(42))
+	for i := range a {
+		a[i] = z.Pick(rng)
+	}
+	b := make([]int, 1000)
+	rng = rand.New(rand.NewSource(42))
+	for i := range b {
+		b[i] = z.Pick(rng)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// sampleFreqs draws n samples and returns the per-rank observed frequency.
+func sampleFreqs(t *testing.T, z *Zipf, n int, seed int64) []float64 {
+	t.Helper()
+	counts := make([]int, z.N())
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		k := z.Pick(rng)
+		if k < 0 || k >= z.N() {
+			t.Fatalf("Pick returned %d, outside [0,%d)", k, z.N())
+		}
+		counts[k]++
+	}
+	freqs := make([]float64, len(counts))
+	for i, c := range counts {
+		freqs[i] = float64(c) / float64(n)
+	}
+	return freqs
+}
+
+// TestZipfRankFrequencyShape checks the sampled rank-frequency curve against
+// the analytic mass for the exponents the harness documents: s=0 must be
+// uniform, s=0.99 classic web skew, s=1.5 heavy head.
+func TestZipfRankFrequencyShape(t *testing.T) {
+	const n = 200_000
+	for _, s := range []float64{0, 0.99, 1.5} {
+		z, err := NewZipf(20, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs := sampleFreqs(t, z, n, 7)
+		for k := range freqs {
+			want := z.Prob(k)
+			// Binomial standard error plus a small absolute floor for the
+			// rare tail ranks; 6 sigma keeps the test deterministic-in-
+			// practice at this sample size.
+			sigma := math.Sqrt(want*(1-want)/n) + 1e-4
+			if d := math.Abs(freqs[k] - want); d > 6*sigma {
+				t.Errorf("s=%.2f rank %d: observed %.5f, want %.5f ± %.5f", s, k, freqs[k], want, 6*sigma)
+			}
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Higher exponent ⇒ more mass on rank 0, and within one distribution the
+	// analytic mass must be non-increasing in rank.
+	var prevHead float64 = -1
+	for _, s := range []float64{0, 0.99, 1.5} {
+		z, err := NewZipf(20, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z.Prob(0) <= prevHead {
+			t.Errorf("s=%.2f: head mass %.4f not larger than previous exponent's %.4f", s, z.Prob(0), prevHead)
+		}
+		prevHead = z.Prob(0)
+		for k := 1; k < z.N(); k++ {
+			if z.Prob(k) > z.Prob(k-1)+1e-12 {
+				t.Fatalf("s=%.2f: mass increases from rank %d to %d", s, k-1, k)
+			}
+		}
+	}
+	// s=0 is exactly uniform.
+	z, _ := NewZipf(20, 0)
+	for k := 0; k < 20; k++ {
+		if math.Abs(z.Prob(k)-0.05) > 1e-12 {
+			t.Fatalf("s=0 rank %d mass %.6f, want 0.05", k, z.Prob(k))
+		}
+	}
+}

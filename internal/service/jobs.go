@@ -378,7 +378,7 @@ func (s *Service) observeJobLatency(j *Job, cacheHit bool, d time.Duration) {
 	switch {
 	case cacheHit:
 		s.met.latCacheHit.Observe(d)
-	case j.initialCost < smallJobCost:
+	case j.initialCost < SmallJobCost:
 		s.met.latSmall.Observe(d)
 	default:
 		s.met.latLarge.Observe(d)

@@ -166,11 +166,13 @@ type serviceMetrics struct {
 	levelValid  *telemetry.Histogram
 }
 
-// smallJobCost splits the small and large job classes by the scheduler's
+// SmallJobCost splits the small and large job classes by the scheduler's
 // admission estimate (rows × cols × levels). 1<<24 ≈ 16.8M puts a
 // 5k-row × 10-attr full-lattice job (500K) firmly in "small" and anything
-// approaching the paper's flight-scale datasets in "large".
-const smallJobCost = 1 << 24
+// approaching the paper's flight-scale datasets in "large". Exported so the
+// load harness (internal/load) can pick workload shapes that land in the
+// intended aod_job_seconds{class=...} histogram.
+const SmallJobCost = 1 << 24
 
 func (s *Service) initMetrics() {
 	r := s.reg
