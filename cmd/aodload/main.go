@@ -15,6 +15,12 @@
 //	  -zipf 0.99 -mix cachehit=70,small=25,large=5 -seed 42 \
 //	  -out LOAD.json -baseline BENCH_7.json -tolerance 1.0
 //
+// Pointing -router at an aodrouter instead drives a whole replicated fleet
+// through its front door; the router's absorbed retries and mid-stream
+// failovers are then counted per class and surfaced in both the summary and
+// the report (retried/failedOver fields) — a chaos run is "clean" when
+// errors stay zero even though those counts are not.
+//
 // Exit status: 0 on a clean run, 1 when the baseline gate fails, 2 on any
 // operational error.
 package main
@@ -39,6 +45,7 @@ func main() {
 func run() int {
 	var (
 		server       = flag.String("server", "http://127.0.0.1:8711", "base URL of a running aodserver")
+		routerURL    = flag.String("router", "", "base URL of a running aodrouter (overrides -server; per-class retried/failed-over counts land in the report)")
 		duration     = flag.Duration("duration", 10*time.Second, "offered-traffic window")
 		rate         = flag.Float64("rate", 200, "arrival rate in requests/second")
 		arrival      = flag.String("arrival", "poisson", "arrival process: poisson or fixed")
@@ -61,8 +68,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "aodload:", err)
 		return 2
 	}
+	endpoint := *server
+	if *routerURL != "" {
+		endpoint = *routerURL
+	}
 	cfg := load.Config{
-		Server:        *server,
+		Server:        endpoint,
 		Rate:          *rate,
 		Duration:      *duration,
 		Arrival:       load.Arrival(*arrival),
@@ -132,8 +143,12 @@ func printSummary(sum load.Summary) {
 	fmt.Fprintf(os.Stderr, "aodload: %d/%d requests dispatched, run took %s\n",
 		sum.Dispatched, sum.Planned, sum.Elapsed.Round(time.Millisecond))
 	for _, c := range sum.Client {
-		fmt.Fprintf(os.Stderr, "  %-8s client: %5d ok %4d shed %3d failed %3d errors %3d timed out  p50 %s  p99 %s  p999 %s\n",
-			c.Class, c.Completed, c.Shed, c.Failed, c.ProtocolErrors, c.TimedOut,
+		routed := ""
+		if c.Retried > 0 || c.FailedOver > 0 {
+			routed = fmt.Sprintf(" %3d retried %2d failed over", c.Retried, c.FailedOver)
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s client: %5d ok %4d shed %3d failed %3d errors %3d timed out%s  p50 %s  p99 %s  p999 %s\n",
+			c.Class, c.Completed, c.Shed, c.Failed, c.ProtocolErrors, c.TimedOut, routed,
 			c.P50.Round(time.Microsecond), c.P99.Round(time.Microsecond), c.P999.Round(time.Microsecond))
 	}
 	for _, s := range sum.Server {

@@ -1,0 +1,190 @@
+// Command aodrouter fronts a fleet of replicated aodservers: a thin,
+// effectively stateless HTTP proxy that hash-routes work across replicas by
+// dataset content fingerprint, probes replica health, retries with jittered
+// exponential backoff, fails jobs over to surviving replicas mid-stream,
+// and sheds load per tenant with honest Retry-After hints.
+//
+// Usage:
+//
+//	aodrouter -replicas http://h1:8711,http://h2:8711 [-addr :8710]
+//	          [-max-attempts N] [-retry-budget D] [-attempt-timeout D]
+//	          [-backoff D] [-backoff-max D]
+//	          [-seed N] [-probe-interval D] [-max-queue-age D]
+//	          [-rate R -burst B] [-quota "tenant=rate:burst,..."]
+//	          [-max-upload BYTES] [-fault-plan FILE.json]
+//
+// Replication contract: point every replica at its siblings with the
+// aodserver -peers flag, so a report computed on one replica is served from
+// any. The router replicates dataset uploads to all replicas itself.
+//
+// Admission: clients name their tenant in the X-AOD-Tenant header. -rate /
+// -burst set the default token-bucket quota (0 = unlimited); -quota
+// overrides per tenant, e.g. -quota "batch=2:5,interactive=50:100".
+//
+// -fault-plan loads a deterministic fault-injection plan (JSON; see
+// internal/router.FaultPlan) applied to every backend RPC — the chaos
+// harness used by the CI chaos job, not a production flag.
+//
+// Endpoints mirror aodserver's API one-for-one (job ids gain an "r<i>."
+// replica prefix), plus GET /routerz for per-replica health and GET /metrics
+// for aod_router_* telemetry.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"aod/internal/router"
+	"aod/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8710", "listen address (host:port; port 0 picks an ephemeral port)")
+	replicasFlag := flag.String("replicas", "", "comma-separated aodserver base URLs (required)")
+	maxAttempts := flag.Int("max-attempts", 0, "total tries per proxied call (0 = 2×replicas, min 3)")
+	retryBudget := flag.Duration("retry-budget", 15*time.Second, "wall-clock bound across one call's retries")
+	attemptTimeout := flag.Duration("attempt-timeout", 15*time.Second, "per-attempt deadline on non-streaming backend calls")
+	backoff := flag.Duration("backoff", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+	backoffMax := flag.Duration("backoff-max", time.Second, "retry backoff cap")
+	seed := flag.Int64("seed", 1, "seed for the deterministic backoff jitter")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "active /healthz probe cadence")
+	maxQueueAge := flag.Duration("max-queue-age", 0, "shed submits when every healthy replica's oldest queued job is older than this (0 disables)")
+	rate := flag.Float64("rate", 0, "default tenant quota: sustained submits/second (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "default tenant quota: burst size (0 = rate)")
+	quotaFlag := flag.String("quota", "", `per-tenant quotas, "tenant=rate:burst,..." (overrides -rate/-burst)`)
+	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "maximum dataset upload size in bytes")
+	faultPlanPath := flag.String("fault-plan", "", "deterministic fault-injection plan JSON (chaos harness; empty disables)")
+	flag.Parse()
+
+	var replicas []string
+	for _, rp := range strings.Split(*replicasFlag, ",") {
+		if rp = strings.TrimSpace(rp); rp != "" {
+			replicas = append(replicas, rp)
+		}
+	}
+	if len(replicas) == 0 {
+		fmt.Fprintln(os.Stderr, "aodrouter: -replicas is required (comma-separated aodserver base URLs)")
+		os.Exit(2)
+	}
+
+	quotas, err := parseQuotas(*quotaFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodrouter:", err)
+		os.Exit(2)
+	}
+	def := router.TenantQuota{Rate: *rate, Burst: *burst}
+	if def.Rate > 0 && def.Burst <= 0 {
+		def.Burst = def.Rate
+	}
+
+	var plan *router.FaultPlan
+	if *faultPlanPath != "" {
+		if plan, err = router.LoadFaultPlan(*faultPlanPath); err != nil {
+			fmt.Fprintln(os.Stderr, "aodrouter:", err)
+			os.Exit(2)
+		}
+	}
+
+	rt, err := router.New(router.Config{
+		Replicas:       replicas,
+		MaxAttempts:    *maxAttempts,
+		RetryBudget:    *retryBudget,
+		AttemptTimeout: *attemptTimeout,
+		BackoffBase:    *backoff,
+		BackoffMax:     *backoffMax,
+		Seed:           *seed,
+		ProbeInterval:  *probeInterval,
+		MaxQueueAge:    *maxQueueAge,
+		DefaultQuota:   def,
+		Quotas:         quotas,
+		MaxUploadBytes: *maxUpload,
+		Fault:          plan,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "aodrouter: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodrouter:", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aodrouter:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("aodrouter listening on %s (%d replicas)\n", ln.Addr(), len(replicas))
+	for i, rp := range replicas {
+		fmt.Printf("aodrouter replica r%d: %s\n", i, rp)
+	}
+	if plan != nil {
+		fmt.Printf("aodrouter fault plan: %d rules from %s\n", len(plan.Rules), *faultPlanPath)
+	}
+
+	srv := &http.Server{Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		// The router is stateless: shutting down is just letting in-flight
+		// proxied requests (streams included) drain briefly.
+		fmt.Printf("aodrouter: %s — shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "aodrouter: shutdown:", err)
+		}
+		rt.Close()
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "aodrouter:", err)
+			rt.Close()
+			os.Exit(1)
+		}
+	}
+}
+
+// parseQuotas parses "tenant=rate:burst,..." ("tenant=rate" defaults burst
+// to rate).
+func parseQuotas(s string) (map[string]router.TenantQuota, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]router.TenantQuota)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf(`-quota: %q is not "tenant=rate:burst"`, part)
+		}
+		rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-quota: tenant %s: bad rate %q", name, rateStr)
+		}
+		q := router.TenantQuota{Rate: rate, Burst: rate}
+		if hasBurst {
+			if q.Burst, err = strconv.ParseFloat(burstStr, 64); err != nil {
+				return nil, fmt.Errorf("-quota: tenant %s: bad burst %q", name, burstStr)
+			}
+		}
+		out[name] = q
+	}
+	return out, nil
+}

@@ -86,6 +86,8 @@ func main() {
 	straggler := flag.Duration("straggler-after", 15*time.Second, "re-dispatch a shard slice not answered after this long (sharded mode; negative disables)")
 	maxQueueWait := flag.Duration("max-queue-wait", time.Minute, "age bound for cost-ordered scheduling: a job queued this long runs next regardless of size (negative disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of replica aodservers to ask for cached reports before recomputing (result-cache peering)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: flip /healthz unready, refuse new jobs, and finish in-flight jobs for up to this long before exiting")
 	flag.Parse()
 
 	// -workers is polymorphic: "-workers 4" sizes the local pool (the
@@ -143,6 +145,12 @@ func main() {
 		})
 		defer pool.Close()
 	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
 	svc := service.New(service.Config{
 		Workers:       workers,
 		QueueDepth:    *queue,
@@ -153,6 +161,7 @@ func main() {
 		Store:         st,
 		ShardPool:     pool,
 		Metrics:       metrics,
+		Peers:         peers,
 	})
 	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
 
@@ -182,6 +191,10 @@ func main() {
 		fmt.Printf("aodserver sharding across %d workers: %s\n",
 			len(shardAddrs), strings.Join(shardAddrs, ", "))
 	}
+	if len(peers) > 0 {
+		fmt.Printf("aodserver peering with %d replicas: %s\n",
+			len(peers), strings.Join(peers, ", "))
+	}
 
 	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	done := make(chan error, 1)
@@ -191,13 +204,25 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("aodserver: %s — shutting down\n", s)
+		// Graceful drain, not a listener slam: flip /healthz unready (a
+		// router stops sending work within one probe), refuse new jobs with
+		// 503, let in-flight and queued jobs finish up to -drain-timeout,
+		// and only then stop serving — so reads and streams attached to
+		// finishing jobs complete normally.
+		fmt.Printf("aodserver: %s — draining (timeout %s)\n", s, *drainTimeout)
+		svc.BeginDrain()
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := svc.WaitIdle(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "aodserver: drain timeout — abandoning in-flight jobs")
+		}
+		cancelDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "aodserver: shutdown:", err)
 		}
 		svc.Close()
+		fmt.Println("aodserver: drained, exiting")
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "aodserver:", err)

@@ -53,6 +53,10 @@ type JSONResult struct {
 	Errors uint64 `json:"errors,omitempty"`
 	// Shed counts requests the server rejected with backpressure (503).
 	Shed uint64 `json:"shed,omitempty"`
+	// Retried and FailedOver count router-absorbed recovery work (routed
+	// runs only): extra submit attempts and mid-stream replica failovers.
+	Retried    uint64 `json:"retried,omitempty"`
+	FailedOver uint64 `json:"failedOver,omitempty"`
 	// RatePerSec is completed requests per second of offered-traffic window.
 	RatePerSec float64 `json:"ratePerSec,omitempty"`
 }

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"aod"
@@ -20,6 +22,8 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	viaRouter atomic.Bool // set when responses carry the X-AOD-Router header
 }
 
 // NewClient returns a client for the server base URL (e.g.
@@ -45,10 +49,28 @@ func (c *Client) Health(ctx context.Context) error {
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
+	if resp.Header.Get("X-AOD-Router") != "" {
+		c.viaRouter.Store(true)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("load: %s/healthz returned %d", c.base, resp.StatusCode)
 	}
 	return nil
+}
+
+// ViaRouter reports whether the endpoint identified itself as an aodrouter
+// (seen on any response so far; Health is the usual first sighting).
+func (c *Client) ViaRouter() bool { return c.viaRouter.Load() }
+
+// routerAttempts reads the router's attempt count off a response: 0 when
+// absent (direct aodserver traffic), otherwise attempts beyond the first
+// are retries the router absorbed on the client's behalf.
+func routerAttempts(resp *http.Response) int {
+	n, err := strconv.Atoi(resp.Header.Get("X-AOD-Router-Attempts"))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n - 1
 }
 
 // UploadCSV uploads a dataset body under name and returns the dataset id.
@@ -83,63 +105,73 @@ func (c *Client) UploadCSV(ctx context.Context, name string, csv []byte) (string
 
 // Submit posts a discovery job. shed reports the server's backpressure signal
 // (503, queue full) — expected under open-loop overload and accounted
-// separately from protocol errors.
-func (c *Client) Submit(ctx context.Context, datasetID string, opts aod.Options) (jobID string, shed bool, err error) {
+// separately from protocol errors. retried is how many extra attempts an
+// aodrouter in front of the server absorbed for this submit (0 when talking
+// to a server directly).
+func (c *Client) Submit(ctx context.Context, datasetID string, opts aod.Options) (jobID string, shed bool, retried int, err error) {
 	body, err := json.Marshal(struct {
 		DatasetID string      `json:"datasetId"`
 		Options   aod.Options `json:"options"`
 	}{datasetID, opts})
 	if err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(body))
 	if err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return "", false, fmt.Errorf("load: submitting job: %w", err)
+		return "", false, 0, fmt.Errorf("load: submitting job: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.Header.Get("X-AOD-Router") != "" {
+		c.viaRouter.Store(true)
+	}
+	retried = routerAttempts(resp)
 	switch resp.StatusCode {
 	case http.StatusAccepted:
 	case http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
-		return "", true, nil
+		return "", true, retried, nil
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return "", false, fmt.Errorf("load: submit returned %d: %s", resp.StatusCode, msg)
+		return "", false, retried, fmt.Errorf("load: submit returned %d: %s", resp.StatusCode, msg)
 	}
 	var job struct {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		return "", false, fmt.Errorf("load: decoding submit response: %w", err)
+		return "", false, retried, fmt.Errorf("load: decoding submit response: %w", err)
 	}
 	if job.ID == "" {
-		return "", false, fmt.Errorf("load: submit returned no job id")
+		return "", false, retried, fmt.Errorf("load: submit returned no job id")
 	}
-	return job.ID, false, nil
+	return job.ID, false, retried, nil
 }
 
 // AwaitDone blocks until the job reaches a terminal state, using the
 // server's NDJSON stream endpoint as a push-based wait (one request, no
 // polling interval noise in the latency measurement). It returns the final
-// state ("done", "failed", "canceled").
-func (c *Client) AwaitDone(ctx context.Context, jobID string) (state string, err error) {
+// state ("done", "failed", "canceled") plus how many times a fronting
+// aodrouter failed the job over to another replica mid-stream (synthetic
+// {"type":"failover"} events spliced into the feed; 0 when direct).
+// Unknown event types are otherwise skipped, so routed and direct streams
+// parse identically.
+func (c *Client) AwaitDone(ctx context.Context, jobID string) (state string, failedOver int, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+jobID+"/stream", nil)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return "", fmt.Errorf("load: streaming job %s: %w", jobID, err)
+		return "", 0, fmt.Errorf("load: streaming job %s: %w", jobID, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return "", fmt.Errorf("load: stream of %s returned %d: %s", jobID, resp.StatusCode, msg)
+		return "", 0, fmt.Errorf("load: stream of %s returned %d: %s", jobID, resp.StatusCode, msg)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 16<<20) // reports ride along on events
@@ -154,19 +186,22 @@ func (c *Client) AwaitDone(ctx context.Context, jobID string) (state string, err
 			Error string `json:"error,omitempty"`
 		}
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return "", fmt.Errorf("load: malformed stream event for %s: %w", jobID, err)
+			return "", failedOver, fmt.Errorf("load: malformed stream event for %s: %w", jobID, err)
 		}
-		if ev.Type == "done" {
+		switch ev.Type {
+		case "failover":
+			failedOver++
+		case "done":
 			if ev.State == "" {
-				return "", fmt.Errorf("load: job %s ended without a state: %s", jobID, ev.Error)
+				return "", failedOver, fmt.Errorf("load: job %s ended without a state: %s", jobID, ev.Error)
 			}
-			return ev.State, nil
+			return ev.State, failedOver, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return "", fmt.Errorf("load: stream of %s: %w", jobID, err)
+		return "", failedOver, fmt.Errorf("load: stream of %s: %w", jobID, err)
 	}
-	return "", fmt.Errorf("load: stream of %s ended without a done event", jobID)
+	return "", failedOver, fmt.Errorf("load: stream of %s ended without a done event", jobID)
 }
 
 // Metrics fetches the server's Prometheus exposition text.

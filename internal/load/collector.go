@@ -15,12 +15,14 @@ type Collector struct {
 }
 
 type classAcc struct {
-	samples   []float64 // end-to-end latency of completed requests, ns
-	completed uint64
-	shed      uint64 // 503: server backpressure
-	failed    uint64 // job reached failed/canceled
-	errors    uint64 // client-side protocol errors (unexpected status, bad frames)
-	timedOut  uint64 // still in flight when the drain deadline passed
+	samples    []float64 // end-to-end latency of completed requests, ns
+	completed  uint64
+	shed       uint64 // 503: server backpressure
+	failed     uint64 // job reached failed/canceled
+	errors     uint64 // client-side protocol errors (unexpected status, bad frames)
+	timedOut   uint64 // still in flight when the drain deadline passed
+	retried    uint64 // submit attempts a fronting router absorbed beyond the first
+	failedOver uint64 // mid-stream router failovers to another replica
 }
 
 // Observe records one completed request's end-to-end latency.
@@ -44,6 +46,19 @@ func (c *Collector) ProtocolError(class Class) { c.count(class, func(a *classAcc
 // TimedOut records a request abandoned at the drain deadline.
 func (c *Collector) TimedOut(class Class) { c.count(class, func(a *classAcc) { a.timedOut++ }) }
 
+// Routed records router work done on the request's behalf: n submit retries
+// and m mid-stream failovers. Both are zero for direct-to-server runs, so
+// recording is unconditional.
+func (c *Collector) Routed(class Class, retried, failedOver int) {
+	if retried <= 0 && failedOver <= 0 {
+		return
+	}
+	c.count(class, func(a *classAcc) {
+		a.retried += uint64(retried)
+		a.failedOver += uint64(failedOver)
+	})
+}
+
 func (c *Collector) count(class Class, f func(*classAcc)) {
 	c.mu.Lock()
 	f(&c.classes[class])
@@ -58,6 +73,8 @@ type ClassResult struct {
 	Failed         uint64        `json:"failed"`
 	ProtocolErrors uint64        `json:"protocolErrors"`
 	TimedOut       uint64        `json:"timedOut"`
+	Retried        uint64        `json:"retried,omitempty"`
+	FailedOver     uint64        `json:"failedOver,omitempty"`
 	P50            time.Duration `json:"p50Ns"`
 	P99            time.Duration `json:"p99Ns"`
 	P999           time.Duration `json:"p999Ns"`
@@ -78,6 +95,8 @@ func (c *Collector) Results() []ClassResult {
 			Failed:         acc.failed,
 			ProtocolErrors: acc.errors,
 			TimedOut:       acc.timedOut,
+			Retried:        acc.retried,
+			FailedOver:     acc.failedOver,
 		}
 		if len(acc.samples) > 0 {
 			// ExactQuantile sorts in place; work on a copy so Results is

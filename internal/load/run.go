@@ -215,20 +215,23 @@ func Run(ctx context.Context, cfg Config) (bench.JSONReport, Summary, error) {
 	cfg.Logf("warming %d cache-hit keys", len(smallIDs))
 	warmOpts := aod.Options{Threshold: cfg.BaseThreshold}
 	for _, id := range smallIDs {
-		jobID, shed, err := client.Submit(ctx, id, warmOpts)
+		jobID, shed, _, err := client.Submit(ctx, id, warmOpts)
 		if err != nil {
 			return rep, sum, fmt.Errorf("warmup: %w", err)
 		}
 		if shed {
 			return rep, sum, fmt.Errorf("warmup: server shed a warmup job — raise its queue depth")
 		}
-		state, err := client.AwaitDone(ctx, jobID)
+		state, _, err := client.AwaitDone(ctx, jobID)
 		if err != nil {
 			return rep, sum, fmt.Errorf("warmup: %w", err)
 		}
 		if state != "done" {
 			return rep, sum, fmt.Errorf("warmup job %s ended %s", jobID, state)
 		}
+	}
+	if client.ViaRouter() {
+		cfg.Logf("endpoint identifies as an aodrouter — recording per-class retry/failover counts")
 	}
 
 	// Baseline scrape: the run's server-side view is the diff against this,
@@ -332,11 +335,13 @@ func (r *runner) spec(req Request) (string, aod.Options) {
 	}
 }
 
-// fire executes one planned request end to end and records its outcome.
+// fire executes one planned request end to end and records its outcome,
+// including any retries/failovers a fronting router absorbed for it.
 func (r *runner) fire(req Request) {
 	dsID, opts := r.spec(req)
 	t0 := time.Now()
-	jobID, shed, err := r.client.Submit(r.ctx, dsID, opts)
+	jobID, shed, retried, err := r.client.Submit(r.ctx, dsID, opts)
+	r.col.Routed(req.Class, retried, 0)
 	if shed {
 		r.col.Shed(req.Class)
 		return
@@ -345,7 +350,8 @@ func (r *runner) fire(req Request) {
 		r.recordError(req.Class, err)
 		return
 	}
-	state, err := r.client.AwaitDone(r.ctx, jobID)
+	state, failedOver, err := r.client.AwaitDone(r.ctx, jobID)
+	r.col.Routed(req.Class, 0, failedOver)
 	if err != nil {
 		r.recordError(req.Class, err)
 		return
@@ -388,6 +394,8 @@ func buildReport(cfg Config, sum Summary) bench.JSONReport {
 			Count:       c.Completed,
 			Errors:      c.Failed + c.ProtocolErrors,
 			Shed:        c.Shed,
+			Retried:     c.Retried,
+			FailedOver:  c.FailedOver,
 			RatePerSec:  float64(c.Completed) / cfg.Duration.Seconds(),
 			NsPerOp:     float64(c.P50),
 			P50NsPerOp:  float64(c.P50),

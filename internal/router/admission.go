@@ -1,0 +1,116 @@
+package router
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantQuota bounds one tenant's submit rate through the router: a token
+// bucket refilling at Rate submits/second with bursts up to Burst. A zero
+// (or negative) Rate means unlimited — the quota system costs nothing for
+// tenants nobody bothered to configure.
+type TenantQuota struct {
+	Rate  float64 `json:"rate"`
+	Burst float64 `json:"burst"`
+}
+
+// maxTenantBuckets bounds the bucket map. The tenant name arrives in a
+// client-controlled header, so an unbounded map would be a trivial
+// memory-exhaustion vector.
+const maxTenantBuckets = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admitter implements per-tenant token-bucket admission. Buckets are lazily
+// created on first sight of a tenant, pre-filled to Burst so a new tenant's
+// first burst is never punished.
+type admitter struct {
+	mu      sync.Mutex
+	def     TenantQuota
+	quotas  map[string]TenantQuota
+	buckets map[string]*bucket
+}
+
+func newAdmitter(def TenantQuota, quotas map[string]TenantQuota) *admitter {
+	return &admitter{def: def, quotas: quotas, buckets: make(map[string]*bucket)}
+}
+
+func (a *admitter) quotaFor(tenant string) TenantQuota {
+	if q, ok := a.quotas[tenant]; ok {
+		return q
+	}
+	return a.def
+}
+
+// allow spends one token from the tenant's bucket. When it can't, the
+// returned retryAfter is the whole seconds until one token accrues (≥1) —
+// exactly the Retry-After the shed response carries, so a well-behaved
+// client that waits that long is admitted on its next try.
+func (a *admitter) allow(tenant string, now time.Time) (retryAfter int, ok bool) {
+	q := a.quotaFor(tenant)
+	if q.Rate <= 0 {
+		return 0, true
+	}
+	if q.Burst < 1 {
+		q.Burst = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		if len(a.buckets) >= maxTenantBuckets {
+			// Arbitrary single eviction keeps the map bounded; the evicted
+			// tenant merely restarts with a full bucket.
+			for k := range a.buckets {
+				delete(a.buckets, k)
+				break
+			}
+		}
+		b = &bucket{tokens: q.Burst, last: now}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.Burst, b.tokens+dt*q.Rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	secs := int(math.Ceil((1 - b.tokens) / q.Rate))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs, false
+}
+
+// queueShed reports whether every healthy replica's oldest queued job is
+// older than MaxQueueAge. That is the router's only reason to refuse work
+// the replicas would technically still accept: if the least-congested
+// replica already has a job that waited past the bound, a new submit is
+// guaranteed to blow its latency budget, and an honest 503 with a real
+// Retry-After beats a slow failure. Returns the minimum observed age so the
+// caller can derive the hint from actual congestion.
+func (rt *Router) queueShed() (time.Duration, bool) {
+	if rt.cfg.MaxQueueAge <= 0 {
+		return 0, false
+	}
+	minAge := time.Duration(-1)
+	for _, rp := range rt.replicas {
+		if !rp.up.Load() {
+			continue
+		}
+		age := time.Duration(rp.queueAgeNs.Load())
+		if minAge < 0 || age < minAge {
+			minAge = age
+		}
+	}
+	if minAge < 0 {
+		return 0, false // no healthy replica: the retry path handles that
+	}
+	return minAge, minAge > rt.cfg.MaxQueueAge
+}

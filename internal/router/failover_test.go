@@ -1,0 +1,203 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aod/internal/service"
+)
+
+const failoverCSV = `pos,exp,sal
+secr,2,45
+secr,3,50
+secr,4,55
+mngr,4,70
+mngr,5,75
+mngr,6,80
+direc,6,100
+direc,7,110
+direc,8,120
+`
+
+// swappableHandler lets two peered services learn each other's URLs after
+// both listeners exist.
+type swappableHandler struct{ h atomic.Value }
+
+func (s *swappableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(http.Handler); ok && h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+// TestIdempotentFailoverPeering is the seeded-fault half of the chaos
+// acceptance: two real replicated services (result caches peered both
+// ways) behind a router whose fault plan kills exactly one submit RPC.
+// The client's retried submit fails over to the sibling, which adopts the
+// already-computed report over the peer channel instead of re-running
+// discovery — same bytes, one validation run total, zero double-executed
+// jobs.
+func TestIdempotentFailoverPeering(t *testing.T) {
+	hA, hB := &swappableHandler{}, &swappableHandler{}
+	srvA := httptest.NewServer(hA)
+	defer srvA.Close()
+	srvB := httptest.NewServer(hB)
+	defer srvB.Close()
+
+	svcA := service.New(service.Config{Workers: 2, Peers: []string{srvB.URL}})
+	defer svcA.Close()
+	svcB := service.New(service.Config{Workers: 2, Peers: []string{srvA.URL}})
+	defer svcB.Close()
+	hA.h.Store(http.Handler(service.NewHandler(svcA, service.HandlerConfig{})))
+	hB.h.Store(http.Handler(service.NewHandler(svcB, service.HandlerConfig{})))
+
+	// The plan is replica-agnostic: the second POST /jobs RPC the router
+	// issues — the client's second submit, wherever it homes — errors, so
+	// the retry must land on the other replica.
+	plan := &FaultPlan{Rules: []FaultRule{
+		{Method: http.MethodPost, Path: "/jobs", After: 1, Count: 1, Action: "error"},
+	}}
+	rt := newTestRouter(t, Config{
+		Replicas:      []string{srvA.URL, srvB.URL},
+		BackoffBase:   time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		Fault:         plan,
+	})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	// Upload once through the front door; the router replicates it.
+	resp, err := http.Post(front.URL+"/datasets?name=employees", "text/csv", strings.NewReader(failoverCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload via router = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-AOD-Router-Replicas"); got != "2/2" {
+		t.Fatalf("upload replicated to %s replicas, want 2/2", got)
+	}
+
+	submit := func() (gid string, attempts string) {
+		t.Helper()
+		body := fmt.Sprintf(`{"datasetId":%q,"options":{"threshold":0.12,"includeOFDs":true}}`, info.ID)
+		resp, err := http.Post(front.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit = %d: %s", resp.StatusCode, raw)
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v.ID, resp.Header.Get("X-AOD-Router-Attempts")
+	}
+	awaitDone := func(gid string) json.RawMessage {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(front.URL + "/jobs/" + gid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /jobs/%s = %d: %s", gid, resp.StatusCode, raw)
+			}
+			var v struct {
+				State  string          `json:"state"`
+				Error  string          `json:"error"`
+				Report json.RawMessage `json:"report"`
+			}
+			if err := json.Unmarshal(raw, &v); err != nil {
+				t.Fatal(err)
+			}
+			switch v.State {
+			case "done":
+				return v.Report
+			case "failed", "canceled":
+				t.Fatalf("job %s reached %s (%s)", gid, v.State, v.Error)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("job %s never finished", gid)
+		return nil
+	}
+
+	// First submit computes for real on its home replica.
+	gid1, _ := submit()
+	report1 := awaitDone(gid1)
+	if len(report1) == 0 {
+		t.Fatal("first job finished without a report")
+	}
+
+	// Second identical submit: the fault plan kills its first RPC, the
+	// router fails over, and the sibling must adopt — not recompute.
+	gid2, attempts := submit()
+	report2 := awaitDone(gid2)
+
+	if gid1 == gid2 {
+		t.Fatalf("both submits resolved to %s; the second should be a new job on the sibling", gid1)
+	}
+	home1, _, _ := splitJobID(gid1)
+	home2, _, _ := splitJobID(gid2)
+	if home1 == home2 {
+		t.Fatalf("second submit stayed on replica %d despite the injected fault", home1)
+	}
+	if attempts != "2" {
+		t.Fatalf("failed-over submit reported %s attempts, want 2", attempts)
+	}
+	if string(report1) != string(report2) {
+		t.Fatalf("reports diverged across failover:\n1: %s\n2: %s", report1, report2)
+	}
+	if rt.met.retries.Value() < 1 {
+		t.Fatal("aod_router_retries_total stayed zero through an injected fault")
+	}
+
+	// Zero double-executed jobs: exactly one validation across the fleet,
+	// and the adopting side shows a peer hit.
+	stA, stB := svcA.Stats(), svcB.Stats()
+	if total := stA.ValidationRuns + stB.ValidationRuns; total != 1 {
+		t.Fatalf("fleet ran validation %d times (A=%d B=%d), want exactly 1",
+			total, stA.ValidationRuns, stB.ValidationRuns)
+	}
+	if stA.PeerHits+stB.PeerHits != 1 {
+		t.Fatalf("peer adoptions A=%d B=%d, want exactly 1 across the fleet", stA.PeerHits, stB.PeerHits)
+	}
+	if stA.PeerServed+stB.PeerServed != 1 {
+		t.Fatalf("peer reports served A=%d B=%d, want exactly 1", stA.PeerServed, stB.PeerServed)
+	}
+
+	// The telemetry surface exposes the retry counter by its wire name.
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "aod_router_retries_total") {
+		t.Fatal("/metrics does not expose aod_router_retries_total")
+	}
+}

@@ -1,0 +1,173 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultPlan is the router's fault-injection seam: every backend RPC —
+// probes, submits, streams, uploads — passes through a wrapped
+// http.RoundTripper that consults this ordered rule list first. Plans are
+// deterministic by construction: each rule keeps its own count of matching
+// RPCs and fires on a fixed window of them ([After, After+Count)), so the
+// same plan against the same request sequence always fails the same calls.
+// That makes chaos tests replayable: a failure found once reproduces every
+// run, with no sleeps or race-prone kill timing involved.
+//
+// The zero plan (no rules) passes everything through untouched.
+type FaultPlan struct {
+	Rules []FaultRule `json:"rules"`
+}
+
+// FaultRule selects a slice of matching RPCs and an action to take on them.
+type FaultRule struct {
+	// Matchers; empty fields match anything.
+	Replica string `json:"replica,omitempty"` // substring of the target URL (e.g. "127.0.0.1:8711")
+	Method  string `json:"method,omitempty"`  // exact HTTP method
+	Path    string `json:"path,omitempty"`    // request-path prefix (e.g. "/jobs")
+
+	// Window over this rule's matching RPCs, 0-based: skip the first After,
+	// then fault the next Count (Count 0 = every one after).
+	After int `json:"after,omitempty"`
+	Count int `json:"count,omitempty"`
+
+	// Action is "error" (fail the RPC before any bytes move), "delay"
+	// (sleep DelayMs, then proceed normally), or "cut" (let the response
+	// start, then break the body after CutAfterBytes — the mid-stream
+	// failure mode that polling clients never see but streams must survive).
+	Action        string `json:"action"`
+	DelayMs       int    `json:"delayMs,omitempty"`
+	CutAfterBytes int64  `json:"cutAfterBytes,omitempty"`
+}
+
+func (r *FaultRule) matches(req *http.Request) bool {
+	if r.Replica != "" && !strings.Contains(req.URL.String(), r.Replica) {
+		return false
+	}
+	if r.Method != "" && req.Method != r.Method {
+		return false
+	}
+	if r.Path != "" && !strings.HasPrefix(req.URL.Path, r.Path) {
+		return false
+	}
+	return true
+}
+
+// validate rejects unknown actions at load time, not mid-chaos-run.
+func (p *FaultPlan) validate() error {
+	for i, r := range p.Rules {
+		switch r.Action {
+		case "error", "delay", "cut":
+		default:
+			return fmt.Errorf("fault plan: rule %d has unknown action %q (want error, delay, or cut)", i, r.Action)
+		}
+	}
+	return nil
+}
+
+// LoadFaultPlan reads a JSON plan file ({"rules": [...]}).
+func LoadFaultPlan(path string) (*FaultPlan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p FaultPlan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("fault plan %s: %w", path, err)
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// errInjected marks a router-injected fault; tests can distinguish it from
+// organic failures, and it reads honestly in logs.
+var errInjected = errors.New("fault: injected")
+
+// transport wraps inner with the plan. Each call gets a fresh counter set,
+// so two routers sharing one plan value don't interfere.
+func (p *FaultPlan) transport(inner http.RoundTripper) http.RoundTripper {
+	if p == nil || len(p.Rules) == 0 {
+		return inner
+	}
+	return &faultTransport{inner: inner, plan: p, seen: make([]int, len(p.Rules))}
+}
+
+type faultTransport struct {
+	inner http.RoundTripper
+	plan  *FaultPlan
+
+	mu   sync.Mutex
+	seen []int // per-rule count of matching RPCs observed so far
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var act *FaultRule
+	t.mu.Lock()
+	for i := range t.plan.Rules {
+		r := &t.plan.Rules[i]
+		if !r.matches(req) {
+			continue
+		}
+		n := t.seen[i]
+		t.seen[i]++
+		if n >= r.After && (r.Count == 0 || n < r.After+r.Count) {
+			act = r
+		}
+		break // the first matching rule owns the RPC — keeps attribution deterministic
+	}
+	t.mu.Unlock()
+	if act == nil {
+		return t.inner.RoundTrip(req)
+	}
+	switch act.Action {
+	case "delay":
+		select {
+		case <-time.After(time.Duration(act.DelayMs) * time.Millisecond):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+	case "cut":
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &cutBody{rc: resp.Body, remaining: act.CutAfterBytes}
+		return resp, nil
+	default: // "error"
+		return nil, fmt.Errorf("%w: %s %s", errInjected, req.Method, req.URL.Path)
+	}
+}
+
+// cutBody forwards up to remaining bytes, then fails the read — the wire
+// picture of a TCP connection dying mid-response.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, fmt.Errorf("%w: connection cut", errInjected)
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	if err == nil && c.remaining <= 0 {
+		err = fmt.Errorf("%w: connection cut", errInjected)
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

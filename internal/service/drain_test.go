@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"aod"
+)
+
+// TestDrainLifecycle: BeginDrain stops admission immediately, flips the
+// readiness probe, lets queued work finish, and WaitIdle observes the
+// drain completing.
+func TestDrainLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+	info, _, err := s.Registry().Add("employees", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Submit(info.ID, aod.Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	if _, err := s.Submit(info.ID, aod.Options{Threshold: 0.2}); err != ErrDraining {
+		t.Fatalf("Submit during drain = %v, want ErrDraining", err)
+	}
+
+	// The job admitted before the drain must still finish.
+	waitState(t, s, v.ID, JobDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	if st := s.Stats(); !st.Draining {
+		t.Fatalf("Stats().Draining = false during drain: %+v", st)
+	}
+}
+
+// TestHealthzDrainContract: /healthz answers 200 "ok" normally and 503
+// "draining" with a Retry-After of at least one second during a drain —
+// the readiness signal the router's probe loop keys off.
+func TestHealthzDrainContract(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hv HealthView
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hv.Status != "ok" {
+		t.Fatalf("healthy /healthz = %d %+v", resp.StatusCode, hv)
+	}
+
+	s.BeginDrain()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || hv.Status != "draining" {
+		t.Fatalf("draining /healthz = %d %+v", resp.StatusCode, hv)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("draining /healthz Retry-After = %q, want integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestSubmit503RetryAfter: the 503 shed path (drain here; queue-full shares
+// the same branch) carries an honest integer Retry-After ≥ 1, bounded by
+// the configured MaxQueueWait — never the old hard-coded constant contract
+// of "1, always, regardless of congestion".
+func TestSubmit503RetryAfter(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueueWait: 30 * time.Second})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s, HandlerConfig{}))
+	defer srv.Close()
+	info, _, err := s.Registry().Add("employees", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BeginDrain()
+
+	body := strings.NewReader(`{"datasetId":"` + info.ID + `","options":{"threshold":0.1}}`)
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", resp.Header.Get("Retry-After"))
+	}
+	if ra < 1 || time.Duration(ra)*time.Second > 30*time.Second {
+		t.Fatalf("Retry-After = %ds, want within [1s, MaxQueueWait=30s]", ra)
+	}
+}
+
+// TestRetryAfterSecondsProperty: across random queue ages and wait bounds,
+// the derived hint is always an integer ≥ 1 and never exceeds the bound
+// (MaxQueueWait clamped to [1s, ∞), defaulting to a minute when unset) —
+// the contract clients rely on to pace retries without starving forever or
+// hammering a congested server.
+func TestRetryAfterSecondsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10000; i++ {
+		age := time.Duration(rng.Int63n(int64(20 * time.Minute)))
+		maxWait := time.Duration(rng.Int63n(int64(10*time.Minute))) - time.Minute // includes ≤ 0
+		got := RetryAfterSeconds(age, maxWait)
+
+		bound := maxWait
+		if bound <= 0 {
+			bound = time.Minute
+		}
+		if bound < time.Second {
+			bound = time.Second
+		}
+		boundSecs := int((bound + time.Second - 1) / time.Second)
+		if got < 1 {
+			t.Fatalf("RetryAfterSeconds(%v, %v) = %d < 1", age, maxWait, got)
+		}
+		if got > boundSecs {
+			t.Fatalf("RetryAfterSeconds(%v, %v) = %d > bound %ds", age, maxWait, got, boundSecs)
+		}
+	}
+	// Spot-check the shape: deeper congestion ⇒ larger (clamped) hints.
+	if a, b := RetryAfterSeconds(4*time.Second, time.Minute), RetryAfterSeconds(40*time.Second, time.Minute); a > b {
+		t.Fatalf("hint not monotone in queue age: %d > %d", a, b)
+	}
+}
+
+// TestPeerReportAdoption: a report computed on replica A is adopted by
+// replica B through the /peer/report channel — same bytes, zero
+// re-validation on B — the property that makes router failover idempotent.
+func TestPeerReportAdoption(t *testing.T) {
+	a := New(Config{Workers: 2})
+	defer a.Close()
+	srvA := httptest.NewServer(NewHandler(a, HandlerConfig{}))
+	defer srvA.Close()
+
+	b := New(Config{Workers: 2, Peers: []string{srvA.URL}})
+	defer b.Close()
+
+	ds := smallDataset(t)
+	infoA, _, err := a.Registry().Add("employees", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, _, err := b.Registry().Add("employees", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA.ID != infoB.ID {
+		t.Fatalf("content addressing diverged: %s vs %s", infoA.ID, infoB.ID)
+	}
+
+	opts := aod.Options{Threshold: 0.1, IncludeOFDs: true}
+	va, err := a.Submit(infoA.ID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := waitState(t, a, va.ID, JobDone)
+
+	vb, err := b.Submit(infoB.ID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := waitState(t, b, vb.ID, JobDone)
+
+	rawA, err := json.Marshal(da.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := json.Marshal(db.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("adopted report differs from the original:\nA: %s\nB: %s", rawA, rawB)
+	}
+
+	stB := b.Stats()
+	if stB.ValidationRuns != 0 {
+		t.Fatalf("B re-validated %d times; the peer hit should have prevented all of them", stB.ValidationRuns)
+	}
+	if stB.PeerHits != 1 {
+		t.Fatalf("B peer hits = %d, want 1", stB.PeerHits)
+	}
+	if stB.CacheHits == 0 {
+		t.Fatal("B cache hits = 0; a peer adoption counts as a dedup-key hit")
+	}
+	if stA := a.Stats(); stA.PeerServed != 1 {
+		t.Fatalf("A peer reports served = %d, want 1", stA.PeerServed)
+	}
+}

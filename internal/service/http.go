@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"aod"
 	"aod/internal/store"
@@ -29,7 +30,8 @@ type HandlerConfig struct {
 //	GET    /jobs/{id}       job status; partial report while running, report once done
 //	GET    /jobs/{id}/stream NDJSON stream of per-level progress events
 //	DELETE /jobs/{id}       cancel the job
-//	GET    /healthz         liveness probe
+//	GET    /healthz         readiness probe (503 while draining; carries queue age)
+//	GET    /peer/report     replica-internal: cached report for ?key= (404 on miss)
 //	GET    /stats           service counters
 func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	if cfg.MaxUploadBytes <= 0 {
@@ -47,6 +49,7 @@ func NewHandler(s *Service, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", h.traceJob)
 	mux.HandleFunc("DELETE /jobs/{id}", h.deleteJob)
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /peer/report", h.peerReport)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -149,8 +152,11 @@ func (h *handler) postJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrInvalidOptions):
 		writeErr(w, http.StatusBadRequest, err)
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		// An honest backoff hint derived from the oldest queued job's age —
+		// not a constant — so clients and routers pace their retries to how
+		// congested this replica actually is.
+		w.Header().Set("Retry-After", strconv.Itoa(h.svc.retryAfterSeconds()))
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -257,8 +263,52 @@ func (h *handler) deleteJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// HealthView is the GET /healthz body: a readiness signal plus the queue
+// observations a router's probe folds into its shedding decisions. Status is
+// "ok" (200) or "draining" (503) — an unready replica keeps serving reads
+// and finishing admitted jobs, it just refuses new ones.
+type HealthView struct {
+	Status           string `json:"status"`
+	QueuedJobs       int    `json:"queuedJobs"`
+	JobsInFlight     int64  `json:"jobsInFlight"`
+	OldestQueueAgeNs int64  `json:"oldestQueueAgeNs"`
+}
+
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s := h.svc
+	s.mu.Lock()
+	queued := s.pending.Len()
+	s.mu.Unlock()
+	view := HealthView{
+		Status:           "ok",
+		QueuedJobs:       queued,
+		JobsInFlight:     s.met.inFlight.Value(),
+		OldestQueueAgeNs: int64(s.QueueAge()),
+	}
+	if s.Draining() {
+		view.Status = "draining"
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, view)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// peerReport serves GET /peer/report?key=...: the raw cached report for a
+// result-cache key, for replica peering (see Config.Peers). 404 on a miss —
+// the asking replica then validates locally.
+func (h *handler) peerReport(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("service: peer report needs ?key="))
+		return
+	}
+	rep, ok := h.svc.PeerReport(key)
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("service: no cached report for key"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {

@@ -79,13 +79,13 @@ func TestServerEndToEnd(t *testing.T) {
 	defer srv.Close()
 	client := srv.Client()
 
-	// Liveness.
-	var health map[string]string
+	// Liveness (the body also carries queue observations for routers).
+	var health HealthView
 	if code, _ := doJSON(t, client, http.MethodGet, srv.URL+"/healthz", nil, &health); code != http.StatusOK {
 		t.Fatalf("/healthz status %d", code)
 	}
-	if health["status"] != "ok" {
-		t.Fatalf("/healthz = %v", health)
+	if health.Status != "ok" {
+		t.Fatalf("/healthz = %+v", health)
 	}
 
 	// Upload.

@@ -166,6 +166,12 @@ func errNoJobf(id string) error {
 // initial view. It never blocks: a saturated queue fails fast with
 // ErrQueueFull so callers can apply backpressure upstream.
 func (s *Service) Submit(datasetID string, opts aod.Options) (JobView, error) {
+	// Draining is checked before anything else: an unready replica answers
+	// every submission with the same 503, not a mix of 404s and 503s
+	// depending on what it still has registered.
+	if s.Draining() {
+		return JobView{}, ErrDraining
+	}
 	// Info, not Get: validation needs only the schema, so a submission must
 	// not force a disk-evicted payload back into memory — the worker loads
 	// it when the job actually runs.
@@ -503,8 +509,22 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	s.flights[j.key] = f
 	s.mu.Unlock()
 
-	// Leader: the one validation run for the key while the flight lives.
-	rep, err = s.validate(j, ds)
+	// Leader: before paying for a validation run, ask the peer replicas for
+	// the key — a router failover or rebalance may have landed a job whose
+	// report another replica already computed. An adopted report is a cache
+	// hit in every sense that matters (no validation run, written through to
+	// the local cache so the next identical job is answered here), which is
+	// the idempotency contract the front door's retry policy leans on.
+	fromPeer := false
+	if peerRep, ok := s.peerFetch(j); ok {
+		s.cache.put(j.key, peerRep)
+		s.met.cacheHits.Inc()
+		s.met.peerHits.Inc()
+		rep, err, fromPeer = peerRep, nil, true
+	} else {
+		// The one validation run for the key while the flight lives.
+		rep, err = s.validate(j, ds)
+	}
 	f.rep, f.err = rep, err
 	f.shareable = err != nil || (!rep.Stats.Canceled && !rep.Stats.TimedOut)
 	s.mu.Lock()
@@ -515,7 +535,7 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	for _, w := range waiters {
 		s.settleWaiter(w, f)
 	}
-	return rep, false, err
+	return rep, fromPeer, err
 }
 
 // validate runs discovery for the job — publishing a partial report and a

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"aod"
+)
+
+// peerClient probes replica aodservers for already-computed reports. The
+// lookup path is deliberately shallow: GET /peer/report reads only the
+// peer's result cache (memory + disk tier), never its flights and never its
+// own peers, so a full-mesh deployment cannot recurse or amplify.
+type peerClient struct {
+	urls []string
+	hc   *http.Client
+}
+
+func newPeerClient(urls []string, timeout time.Duration) *peerClient {
+	return &peerClient{
+		urls: urls,
+		hc: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+// fetch asks each peer in turn for the cache key, returning the first hit.
+// Errors and misses are indistinguishable on purpose — either way the caller
+// validates locally. ctx bounds the whole sweep (a canceled job stops asking).
+func (p *peerClient) fetch(ctx context.Context, key string) (*aod.Report, bool) {
+	for _, base := range p.urls {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/peer/report?key="+url.QueryEscape(key), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := p.hc.Do(req)
+		if err != nil {
+			continue // dead or slow peer: the local run is the fallback
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var rep aod.Report
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxPeerReportBytes)).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			continue // truncated or corrupt transfer: treat as a miss
+		}
+		return &rep, true
+	}
+	return nil, false
+}
+
+// maxPeerReportBytes bounds a peer report transfer; reports are summaries
+// (dependency lists + stats), so anything past this is a protocol error.
+const maxPeerReportBytes = 64 << 20
+
+// peerFetch resolves the job's key against the configured peers, updating
+// the miss counter. Returns false when peering is disabled.
+func (s *Service) peerFetch(j *Job) (*aod.Report, bool) {
+	if s.peers == nil {
+		return nil, false
+	}
+	span := j.trace.StartUnder(j.rootSpan, "peer-lookup")
+	rep, ok := s.peers.fetch(j.ctx, j.key)
+	span.Attr("hit", boolAttr(ok))
+	span.End()
+	if !ok {
+		s.met.peerMisses.Inc()
+		return nil, false
+	}
+	return rep, true
+}
+
+// PeerReport serves another replica's cache probe: the cached report for the
+// raw cache key, or ok=false. It reads the local cache only (memory, then
+// the persisted report store) — no flights, no validation, no further peers.
+func (s *Service) PeerReport(key string) (*aod.Report, bool) {
+	rep, ok := s.cache.get(key)
+	if ok {
+		s.met.peerServed.Inc()
+	}
+	return rep, ok
+}

@@ -9,8 +9,10 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aod"
@@ -58,6 +60,17 @@ type Config struct {
 	// pool, HTTP layer) so one /metrics scrape covers the process. Nil gets
 	// the service a private registry; /stats works either way.
 	Metrics *telemetry.Registry
+	// Peers lists the base URLs of replica aodservers sharing this service's
+	// result-cache key space (aodserver -peers). On a local cache miss the
+	// flight leader asks each peer's GET /peer/report for the key before
+	// validating: a report computed on any replica is then served through
+	// every replica without recomputation — the router's idempotent-failover
+	// contract depends on it. Empty disables peering.
+	Peers []string
+	// PeerTimeout bounds each peer report probe (default 250ms). A slow or
+	// dead peer must never cost more than this before the job simply
+	// validates locally.
+	PeerTimeout time.Duration
 
 	// Test seams (same-package tests only): runGate runs when a worker picks
 	// the job up, before discovery starts; levelHook runs after each level
@@ -103,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueueWait < 0 {
 		c.MaxQueueWait = 0 // aging disabled
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 250 * time.Millisecond
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -112,13 +128,20 @@ func (c Config) withDefaults() Config {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: closed")
 
+// ErrDraining is returned by Submit while the service drains: it finishes
+// the jobs it already accepted but admits no new ones (HTTP 503 with an
+// honest Retry-After — clients and routers should go elsewhere).
+var ErrDraining = errors.New("service: draining, not admitting jobs")
+
 // Service is the discovery service: registry + job manager + result cache.
 // All methods are safe for concurrent use.
 type Service struct {
 	cfg      Config
 	registry *Registry
 	cache    *resultCache
+	peers    *peerClient // nil without Config.Peers
 	start    time.Time
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	notEmpty *sync.Cond // signaled when pending gains a job or on Close
@@ -155,6 +178,11 @@ type serviceMetrics struct {
 	discoveryNs    *telemetry.Counter
 	inFlight       *telemetry.Gauge
 	waiting        *telemetry.Gauge
+	// Peer result-cache traffic: hits are reports adopted from a replica
+	// instead of recomputed, served counts this replica answering peers.
+	peerHits   *telemetry.Counter
+	peerMisses *telemetry.Counter
+	peerServed *telemetry.Counter
 
 	// Job end-to-end latency by class: cache hits answer in microseconds,
 	// small and large validation runs in milliseconds to minutes — one
@@ -188,6 +216,9 @@ func (s *Service) initMetrics() {
 	m.discoveryNs = r.Counter("aod_discovery_ns_total", "", "Cumulative end-to-end discovery time of complete runs, in nanoseconds.")
 	m.inFlight = r.Gauge("aod_jobs_in_flight", "", "Jobs currently holding a worker.")
 	m.waiting = r.Gauge("aod_jobs_waiting", "", "Jobs parked on an identical in-flight run.")
+	m.peerHits = r.Counter("aod_peer_report_hits_total", "", "Reports adopted from a peer replica's cache instead of recomputed.")
+	m.peerMisses = r.Counter("aod_peer_report_misses_total", "", "Peer cache probes that found no report anywhere.")
+	m.peerServed = r.Counter("aod_peer_reports_served_total", "", "Cached reports served to peer replicas.")
 	m.latCacheHit = r.Histogram("aod_job_seconds", telemetry.Label("class", "cachehit"), "Job end-to-end latency by class.")
 	m.latSmall = r.Histogram("aod_job_seconds", telemetry.Label("class", "small"), "Job end-to-end latency by class.")
 	m.latLarge = r.Histogram("aod_job_seconds", telemetry.Label("class", "large"), "Job end-to-end latency by class.")
@@ -217,6 +248,9 @@ func New(cfg Config) *Service {
 		s.reg = telemetry.NewRegistry()
 	}
 	s.initMetrics()
+	if len(cfg.Peers) > 0 {
+		s.peers = newPeerClient(cfg.Peers, cfg.PeerTimeout)
+	}
 	s.pending.maxWait = cfg.MaxQueueWait
 	s.pending.now = cfg.now
 	s.notEmpty = sync.NewCond(&s.mu)
@@ -229,6 +263,89 @@ func New(cfg Config) *Service {
 
 // Registry exposes the dataset registry.
 func (s *Service) Registry() *Registry { return s.registry }
+
+// BeginDrain flips the service unready: Submit fails with ErrDraining (503)
+// and /healthz reports draining, but jobs already admitted keep their
+// workers and every read endpoint keeps answering. Idempotent. The intended
+// shutdown sequence is BeginDrain → WaitIdle → http.Server.Shutdown → Close,
+// so a router sees the replica go unready one probe before it stops serving.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until no job is queued, running, or parked on an in-flight
+// run — the all-admitted-work-finished point of a drain — or until ctx
+// expires, returning ctx.Err() in that case.
+func (s *Service) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		queued := s.pending.Len()
+		s.mu.Unlock()
+		if queued == 0 && s.met.inFlight.Value() == 0 && s.met.waiting.Value() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// QueueAge returns how long the oldest queued job has been waiting for a
+// worker (0 when nothing is queued) — the input to the Retry-After hint.
+func (s *Service) QueueAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.pending.oldest()
+	if old == nil {
+		return 0
+	}
+	if age := s.cfg.now().Sub(old.created); age > 0 {
+		return age
+	}
+	return 0
+}
+
+// MaxQueueWait exposes the configured queue-aging bound (0 = disabled).
+func (s *Service) MaxQueueWait() time.Duration { return s.cfg.MaxQueueWait }
+
+// RetryAfterSeconds derives an honest Retry-After hint (whole seconds) from
+// the age of the oldest queued job. The heuristic: a queue whose head has
+// already waited T will take on the order of T to drain its head again, so
+// retrying sooner than T/2 mostly burns requests — but the hint is clamped
+// to [1s, bound] (bound = maxWait when positive, else one minute) so clients
+// always get a positive, finite signal no matter how pathological the queue.
+// The same derivation backs the service's queue-full 503, its draining 503,
+// and the router's shed path.
+func RetryAfterSeconds(queueAge, maxWait time.Duration) int {
+	bound := maxWait
+	if bound <= 0 {
+		bound = time.Minute
+	}
+	if bound < time.Second {
+		bound = time.Second
+	}
+	hint := queueAge / 2
+	if hint > bound {
+		hint = bound
+	}
+	// Ceiling in whole seconds, never below 1 (Retry-After: 0 means "now",
+	// which a saturated queue cannot honestly promise).
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// retryAfterSeconds is the instance hint for the service's own 503 paths.
+func (s *Service) retryAfterSeconds() int {
+	return RetryAfterSeconds(s.QueueAge(), s.cfg.MaxQueueWait)
+}
 
 // Metrics exposes the metrics registry backing /stats and /metrics.
 func (s *Service) Metrics() *telemetry.Registry { return s.reg }
@@ -295,6 +412,15 @@ type Stats struct {
 	// Shards reports per-worker health and assignment counts when a shard
 	// pool backs job execution (aodserver -workers); absent otherwise.
 	Shards []aod.ShardWorkerStatus `json:"shards,omitempty"`
+	// Draining reports a server that has stopped admitting jobs (SIGTERM
+	// received, in-flight work finishing).
+	Draining bool `json:"draining,omitempty"`
+	// Peer result-cache traffic (aodserver -peers): PeerHits counts reports
+	// adopted from a replica instead of recomputed, PeerServed counts this
+	// replica answering peers' probes. Zero without peers.
+	Peers      int    `json:"peers,omitempty"`
+	PeerHits   uint64 `json:"peerHits,omitempty"`
+	PeerServed uint64 `json:"peerServed,omitempty"`
 }
 
 // Stats snapshots the service counters through the metrics registry — the
@@ -338,6 +464,10 @@ func (s *Service) Stats() Stats {
 	}
 	st.CacheDiskHits = s.cache.diskHits.Load()
 	st.PersistErrors = s.cache.persistErrors.Load()
+	st.Draining = s.Draining()
+	st.Peers = len(s.cfg.Peers)
+	st.PeerHits = s.met.peerHits.Value()
+	st.PeerServed = s.met.peerServed.Value()
 	if s.cfg.ShardPool != nil {
 		st.Shards = s.cfg.ShardPool.Workers()
 	}
