@@ -10,6 +10,8 @@
 //	          [-cache N] [-max-datasets N] [-max-jobs N] [-max-upload BYTES]
 //	          [-data-dir DIR] [-max-report-bytes N] [-max-queue-wait D]
 //	          [-straggler-after D] [-pprof-addr ADDR]
+//	          [-adaptive] [-serial-cost-max N] [-shard-cost-min N]
+//	          [-shard-quantum N]
 //
 // -workers accepts either an integer (local discovery worker-pool size, the
 // default GOMAXPROCS) or a comma-separated list of aodworker addresses: then
@@ -18,6 +20,17 @@
 // per-shard timeouts, straggler re-dispatch, and local fallback — a dead
 // worker slows jobs down instead of failing them. Per-worker health and
 // assignment counts appear in GET /stats under "shards".
+//
+// Executor selection is adaptive by default: each job's work estimate
+// (rows × cols × lattice levels) routes it to the serial in-process executor
+// (at or below -serial-cost-max), the local worker pool (mid-range), or the
+// shard pool (at or above -shard-cost-min, when -workers lists addresses).
+// All three produce identical reports; only latency differs. -adaptive=false
+// restores the pre-adaptive routing (everything sharded when a pool is
+// configured). Sharded jobs additionally size their worker fan-out from the
+// same estimate — one worker per -shard-quantum of work, so small sharded
+// jobs skip the per-worker partition-duplication tax. Routing counts appear
+// in /stats and /metrics as aod_jobs_routed_total{executor=...}.
 //
 // With -data-dir the server is durable: uploaded datasets and completed
 // reports are written through to DIR (atomic write-then-rename, corrupt
@@ -84,6 +97,10 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist datasets and reports under this directory (empty = in-memory only)")
 	maxReportBytes := flag.Int64("max-report-bytes", 0, "report-store disk budget in bytes; least recently used reports are evicted past it (0 = unbounded; needs -data-dir)")
 	straggler := flag.Duration("straggler-after", 15*time.Second, "re-dispatch a shard slice not answered after this long (sharded mode; negative disables)")
+	adaptive := flag.Bool("adaptive", true, "pick each job's executor (serial/pool/sharded) from its work estimate; false pins the pre-adaptive routing (sharded whenever -workers lists addresses)")
+	serialCostMax := flag.Int64("serial-cost-max", service.DefaultSerialCostMax, "adaptive routing: run jobs with work estimate (rows×cols×levels) at or below this serially (negative = no serial tier)")
+	shardCostMin := flag.Int64("shard-cost-min", service.DefaultShardCostMin, "adaptive routing: dispatch jobs with work estimate at or above this to the shard pool (negative = shard everything)")
+	shardQuantum := flag.Int64("shard-quantum", 0, "sharded jobs engage one worker per this much estimated work, bounded by the pool size (0 = built-in default; negative = always the full pool)")
 	maxQueueWait := flag.Duration("max-queue-wait", time.Minute, "age bound for cost-ordered scheduling: a job queued this long runs next regardless of size (negative disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	peersFlag := flag.String("peers", "", "comma-separated base URLs of replica aodservers to ask for cached reports before recomputing (result-cache peering)")
@@ -162,6 +179,11 @@ func main() {
 		ShardPool:     pool,
 		Metrics:       metrics,
 		Peers:         peers,
+
+		DisableAdaptive:  !*adaptive,
+		SerialCostMax:    *serialCostMax,
+		ShardCostMin:     *shardCostMin,
+		ShardWorkQuantum: *shardQuantum,
 	})
 	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
 

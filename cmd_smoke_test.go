@@ -409,7 +409,11 @@ func TestShardedWorkersBinaryE2E(t *testing.T) {
 
 	addr1, _ := startAODWorker(t, workerBin)
 	addr2, wcmd2 := startAODWorker(t, workerBin)
-	base, _ := startAODServer(t, serverBin, "-workers", addr1+","+addr2)
+	// -shard-cost-min 1 routes even this test-sized dataset to the shard
+	// pool under adaptive executor selection, and -shard-quantum -1 fans it
+	// out to both workers regardless of size — the point is the wire path
+	// and mid-job re-dispatch, not the sizing policy.
+	base, _ := startAODServer(t, serverBin, "-workers", addr1+","+addr2, "-shard-cost-min", "1", "-shard-quantum", "-1")
 
 	// A multi-level dataset large enough that the kill below lands mid-job.
 	ds := Flight(4000, 8, 17)
@@ -617,7 +621,7 @@ func TestTelemetryBinaryE2E(t *testing.T) {
 	workerAddr, workerMetrics, workerPprof := startWithEndpoints(t, workerBin,
 		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0")
 	serverAddr, _, serverPprof := startWithEndpoints(t, serverBin,
-		"-addr", "127.0.0.1:0", "-workers", workerAddr, "-pprof-addr", "127.0.0.1:0")
+		"-addr", "127.0.0.1:0", "-workers", workerAddr, "-shard-cost-min", "1", "-pprof-addr", "127.0.0.1:0")
 	base := "http://" + serverAddr
 
 	// Multi-level dataset so the job actually exercises the sharded path.
@@ -678,6 +682,10 @@ func TestTelemetryBinaryE2E(t *testing.T) {
 		"# TYPE aod_job_seconds histogram",
 		"aod_jobs_done_total 1",
 		"aod_shard_rpc_seconds_count",
+		`aod_jobs_routed_total{executor="sharded"} 1`,
+		`aod_shard_bytes_total{dir="tx"}`,
+		`aod_shard_bytes_total{dir="rx"}`,
+		"aod_shard_frames_total",
 	} {
 		if !strings.Contains(met, want) {
 			t.Errorf("server /metrics missing %q", want)
@@ -689,7 +697,10 @@ func TestTelemetryBinaryE2E(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("worker /metrics status %d", code)
 	}
-	for _, want := range []string{"aodworker_sessions_total 1", "aodworker_tasks_total", "aodworker_slice_exec_seconds_count"} {
+	for _, want := range []string{
+		"aodworker_sessions_total 1", "aodworker_tasks_total", "aodworker_slice_exec_seconds_count",
+		`aod_shard_bytes_total{dir="tx"}`, `aod_shard_bytes_total{dir="rx"}`, "aod_shard_frames_total",
+	} {
 		if !strings.Contains(met, want) {
 			t.Errorf("worker /metrics missing %q in:\n%s", want, met)
 		}

@@ -112,6 +112,12 @@ type Options struct {
 	// compatibilities "A ∼ B↓" (A ascending, B descending), after the
 	// bidirectional OD framework the paper builds upon.
 	Bidirectional bool `json:"bidirectional,omitempty"`
+	// ShardWorkQuantum sizes the worker fan-out of the sharded path: one
+	// worker is engaged per this much estimated work (EstimateWork units),
+	// bounded by the pool's width. 0 selects the default quantum
+	// (core.DefaultShardWorkQuantum); negative always engages the full pool.
+	// Only DiscoverSharded* honor it.
+	ShardWorkQuantum int64 `json:"shardWorkQuantum,omitempty"`
 }
 
 func (o Options) config() core.Config {

@@ -125,6 +125,12 @@ type traversal struct {
 	levelSpan *telemetry.ActiveSpan
 	lastValid time.Duration
 	lastPart  time.Duration
+
+	// prefetchedNext, when set by a pipelining executor (Sharded), is the
+	// already-generated next level; Run advances through it instead of
+	// generating a twin, because the executor's pre-built tasks alias its
+	// nodes.
+	prefetchedNext *lattice.Level
 }
 
 // abortedInto reports that the run must stop — the TimeLimit deadline passed
@@ -269,7 +275,11 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 		if last {
 			break
 		}
-		next := lattice.NextLevel(cur, numAttrs)
+		next := t.prefetchedNext
+		t.prefetchedNext = nil
+		if next == nil {
+			next = lattice.NextLevel(cur, numAttrs)
+		}
 		if !cfg.KeepPartitions && prev2 != nil {
 			// prev2 is two levels behind the new frontier: its partitions are
 			// no longer reachable as parents or grandparents, so their CSR

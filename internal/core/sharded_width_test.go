@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// TestShardWidthCap pins the adaptive fan-out policy: one engaged worker per
+// work quantum, at least one, uncapped when the quantum is disabled.
+func TestShardWidthCap(t *testing.T) {
+	const noCap = int(^uint(0) >> 1)
+	cases := []struct {
+		name          string
+		cost, quantum int64
+		want          int
+	}{
+		{"tiny job engages one worker", 500_000, DefaultShardWorkQuantum, 1},
+		{"one quantum is one worker", DefaultShardWorkQuantum, DefaultShardWorkQuantum, 1},
+		{"two quanta are two workers", 2 * DefaultShardWorkQuantum, DefaultShardWorkQuantum, 2},
+		{"just short of two quanta stays at one", 2*DefaultShardWorkQuantum - 1, DefaultShardWorkQuantum, 1},
+		{"50k-row 10-attr job engages one worker", 50_000 * 10 * 10, DefaultShardWorkQuantum, 1},
+		{"zero cost still engages one worker", 0, DefaultShardWorkQuantum, 1},
+		{"negative quantum disables the cap", 10, -1, noCap},
+		{"zero quantum disables the cap", 10, 0, noCap}, // ShardedQuantum maps 0 to the default before this
+		{"huge cost saturates instead of overflowing", int64(^uint64(0) >> 1), 1, noCap},
+	}
+	for _, tc := range cases {
+		if got := shardWidthCap(tc.cost, tc.quantum); got != tc.want {
+			t.Errorf("%s: shardWidthCap(%d, %d) = %d, want %d", tc.name, tc.cost, tc.quantum, got, tc.want)
+		}
+	}
+}

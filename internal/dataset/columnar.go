@@ -1,0 +1,83 @@
+package dataset
+
+import "fmt"
+
+// ColumnData is the raw material of one rank-encoded column: the dense rank
+// array plus the distinct raw values in rank order — exactly the per-column
+// inputs of Fingerprint. It is the unit the shard protocol ships when a
+// coordinator sends a dataset to a worker: reconstructing columns from parts
+// skips CSV rendering and re-parsing entirely, and a fingerprint comparison
+// on the result proves the transfer lossless.
+//
+// Exactly one of Ints/Floats/Strings must be populated, matching Kind; its
+// length is the column's distinct count.
+type ColumnData struct {
+	Name    string
+	Kind    Kind
+	Ranks   []int32
+	Ints    []int64
+	Floats  []float64
+	Strings []string
+}
+
+// Data returns the column's reconstruction parts. The slices alias the
+// column's internals — callers must not modify them.
+func (c *Column) Data() ColumnData {
+	return ColumnData{
+		Name:    c.name,
+		Kind:    c.kind,
+		Ranks:   c.ranks,
+		Ints:    c.intVals,
+		Floats:  c.floatVals,
+		Strings: c.stringVals,
+	}
+}
+
+// TableFromColumns assembles a Table directly from rank-encoded column parts,
+// the inverse of Column.Data. It validates structural safety — every rank
+// array has exactly rows entries, every rank lies in [0, distinct), the value
+// slice matches the declared kind — so a table built from untrusted bytes can
+// never index out of bounds. It does NOT verify semantic invariants (values
+// sorted ascending, every rank used); callers receiving data over a wire
+// should compare Fingerprint against the sender's to prove full fidelity.
+func TableFromColumns(rows int, cols []ColumnData) (*Table, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("dataset: negative row count %d", rows)
+	}
+	built := make([]*Column, len(cols))
+	for i, cd := range cols {
+		if len(cd.Ranks) != rows {
+			return nil, fmt.Errorf("dataset: column %q has %d ranks, want %d", cd.Name, len(cd.Ranks), rows)
+		}
+		c := &Column{name: cd.Name, kind: cd.Kind, ranks: cd.Ranks}
+		switch cd.Kind {
+		case KindInt:
+			if cd.Floats != nil || cd.Strings != nil {
+				return nil, fmt.Errorf("dataset: int column %q carries non-int values", cd.Name)
+			}
+			c.intVals = cd.Ints
+			c.distinct = len(cd.Ints)
+		case KindFloat:
+			if cd.Ints != nil || cd.Strings != nil {
+				return nil, fmt.Errorf("dataset: float column %q carries non-float values", cd.Name)
+			}
+			c.floatVals = cd.Floats
+			c.distinct = len(cd.Floats)
+		case KindString:
+			if cd.Ints != nil || cd.Floats != nil {
+				return nil, fmt.Errorf("dataset: string column %q carries non-string values", cd.Name)
+			}
+			c.stringVals = cd.Strings
+			c.distinct = len(cd.Strings)
+		default:
+			return nil, fmt.Errorf("dataset: column %q has unknown kind %d", cd.Name, int(cd.Kind))
+		}
+		for r, rank := range cd.Ranks {
+			if rank < 0 || int(rank) >= c.distinct {
+				return nil, fmt.Errorf("dataset: column %q row %d has rank %d outside [0,%d)", cd.Name, r, rank, c.distinct)
+			}
+		}
+		built[i] = c
+	}
+	return fromColumns(built)
+}

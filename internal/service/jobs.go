@@ -538,6 +538,44 @@ func (s *Service) compute(j *Job) (*aod.Report, bool, error) {
 	return rep, fromPeer, err
 }
 
+// executorChoice names the three execution tiers the adaptive router picks
+// between. They are result-identical (the executor equivalence contract);
+// only latency differs with job size.
+type executorChoice int
+
+const (
+	execSerial executorChoice = iota
+	execPool
+	execSharded
+)
+
+// pickExecutor routes a validation run to the executor its admission work
+// estimate (rows × cols × levels) predicts is fastest: serial for tiny jobs
+// where any fan-out is pure overhead, the in-process pool for the mid-range,
+// and the shard pool past ShardCostMin where columnar shipping amortizes.
+// Jobs asking for explicit Parallelism > 1 are never downgraded to serial,
+// and with DisableAdaptive the pre-adaptive routing applies (sharded iff a
+// pool is configured, otherwise the job's own Parallelism decides).
+func (s *Service) pickExecutor(j *Job) executorChoice {
+	if s.cfg.DisableAdaptive {
+		if s.cfg.ShardPool != nil {
+			return execSharded
+		}
+		if j.opts.Parallelism > 1 {
+			return execPool
+		}
+		return execSerial
+	}
+	cost := j.initialCost
+	if s.cfg.ShardPool != nil && cost >= s.cfg.ShardCostMin {
+		return execSharded
+	}
+	if cost > s.cfg.SerialCostMax || j.opts.Parallelism > 1 {
+		return execPool
+	}
+	return execSerial
+}
+
 // validate runs discovery for the job — publishing a partial report and a
 // progress event at every level boundary — updating the run counters and
 // publishing complete results to the cache.
@@ -559,15 +597,31 @@ func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 	// per-slice RPC and stitched worker spans) beneath this one.
 	span := j.trace.StartUnder(j.rootSpan, "discover")
 	ctx := telemetry.NewContext(j.ctx, j.trace, span.ID())
-	// The sharded and local paths are result-identical by the executor
+	// All executors are result-identical by the executor equivalence
 	// contract, so cache keys and in-flight dedup need not know which one
-	// ran the job.
+	// ran the job — the router trades only latency, never answers.
 	var rep *aod.Report
 	var err error
-	if s.cfg.ShardPool != nil {
-		rep, err = aod.DiscoverShardedStreamContext(ctx, ds, j.opts, s.cfg.ShardPool, onLevel)
-	} else {
-		rep, err = aod.DiscoverStreamContext(ctx, ds, j.opts, onLevel)
+	switch s.pickExecutor(j) {
+	case execSharded:
+		s.met.routedSharded.Inc()
+		opts := j.opts
+		if opts.ShardWorkQuantum == 0 {
+			opts.ShardWorkQuantum = s.cfg.ShardWorkQuantum
+		}
+		rep, err = aod.DiscoverShardedStreamContext(ctx, ds, opts, s.cfg.ShardPool, onLevel)
+	case execPool:
+		s.met.routedPool.Inc()
+		opts := j.opts
+		if opts.Parallelism <= 1 {
+			opts.Parallelism = runtime.GOMAXPROCS(0)
+		}
+		rep, err = aod.DiscoverStreamContext(ctx, ds, opts, onLevel)
+	default:
+		s.met.routedSerial.Inc()
+		opts := j.opts
+		opts.Parallelism = 0
+		rep, err = aod.DiscoverStreamContext(ctx, ds, opts, onLevel)
 	}
 	span.End()
 	if err == nil && !rep.Stats.Canceled && !rep.Stats.TimedOut {

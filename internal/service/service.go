@@ -50,6 +50,28 @@ type Config struct {
 	// and a degraded pool only slows jobs down. Per-worker health and
 	// assignment counts surface in Stats.Shards.
 	ShardPool *aod.ShardPool
+	// DisableAdaptive turns off work-estimate-based executor selection. The
+	// pre-adaptive routing then applies: every job runs sharded when
+	// ShardPool is set, otherwise locally with the job's own Parallelism.
+	DisableAdaptive bool
+	// SerialCostMax is the admission work estimate (rows × cols × levels, see
+	// aod.EstimateWork) at or below which a job runs on the serial in-process
+	// executor — below it, pool fan-out costs more in coordination than it
+	// buys (default DefaultSerialCostMax; negative = 0, no serial tier).
+	// Jobs that ask for explicit Parallelism > 1 are never forced serial.
+	SerialCostMax int64
+	// ShardCostMin is the estimate at or above which a job is dispatched to
+	// the shard pool (when ShardPool is set). Between SerialCostMax and
+	// ShardCostMin jobs run on the in-process pool: mid-range work
+	// parallelizes well locally but would pay shard round-trips per lattice
+	// level for nothing (default DefaultShardCostMin; negative = 0, shard
+	// everything).
+	ShardCostMin int64
+	// ShardWorkQuantum sizes the sharded executor's worker fan-out: one
+	// worker per this much estimated work, bounded by the pool width (see
+	// aod.Options.ShardWorkQuantum). Applied to jobs that didn't set their
+	// own quantum. 0 = the core default; negative = always full width.
+	ShardWorkQuantum int64
 	// MaxQueueWait bounds how long cost-based scheduling may delay a queued
 	// job: a job queued longer than this is picked next regardless of its
 	// cost, so a flood of small jobs cannot starve batch work indefinitely
@@ -109,6 +131,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobHistory < 0 {
 		c.MaxJobHistory = 0
+	}
+	if c.SerialCostMax == 0 {
+		c.SerialCostMax = DefaultSerialCostMax
+	}
+	if c.SerialCostMax < 0 {
+		c.SerialCostMax = 0 // no serial tier
+	}
+	if c.ShardCostMin == 0 {
+		c.ShardCostMin = DefaultShardCostMin
+	}
+	if c.ShardCostMin < 0 {
+		c.ShardCostMin = 0 // shard everything
 	}
 	if c.MaxQueueWait == 0 {
 		c.MaxQueueWait = time.Minute
@@ -184,6 +218,12 @@ type serviceMetrics struct {
 	peerMisses *telemetry.Counter
 	peerServed *telemetry.Counter
 
+	// Adaptive executor routing: one counter per executor the router picked
+	// for a validation run (cache hits and in-flight joins route nothing).
+	routedSerial  *telemetry.Counter
+	routedPool    *telemetry.Counter
+	routedSharded *telemetry.Counter
+
 	// Job end-to-end latency by class: cache hits answer in microseconds,
 	// small and large validation runs in milliseconds to minutes — one
 	// histogram would bury the classes' tails in each other.
@@ -202,6 +242,18 @@ type serviceMetrics struct {
 // intended aod_job_seconds{class=...} histogram.
 const SmallJobCost = 1 << 24
 
+// DefaultSerialCostMax and DefaultShardCostMin are the adaptive executor
+// router's default thresholds in the same cost currency (rows × cols ×
+// levels, aod.EstimateWork). 1<<20 ≈ 1.05M keeps a 5k-row × 10-attr
+// full-lattice job (500K) serial — measured faster than pool fan-out at that
+// size — while 1<<22 ≈ 4.2M sends a 50k-row × 10-attr job (5M) to the shard
+// pool, past the crossover where columnar shipping amortizes and pipelined
+// dispatch beats local workers.
+const (
+	DefaultSerialCostMax = 1 << 20
+	DefaultShardCostMin  = 1 << 22
+)
+
 func (s *Service) initMetrics() {
 	r := s.reg
 	m := &s.met
@@ -219,6 +271,9 @@ func (s *Service) initMetrics() {
 	m.peerHits = r.Counter("aod_peer_report_hits_total", "", "Reports adopted from a peer replica's cache instead of recomputed.")
 	m.peerMisses = r.Counter("aod_peer_report_misses_total", "", "Peer cache probes that found no report anywhere.")
 	m.peerServed = r.Counter("aod_peer_reports_served_total", "", "Cached reports served to peer replicas.")
+	m.routedSerial = r.Counter("aod_jobs_routed_total", telemetry.Label("executor", "serial"), "Validation runs by executor the adaptive router picked.")
+	m.routedPool = r.Counter("aod_jobs_routed_total", telemetry.Label("executor", "pool"), "Validation runs by executor the adaptive router picked.")
+	m.routedSharded = r.Counter("aod_jobs_routed_total", telemetry.Label("executor", "sharded"), "Validation runs by executor the adaptive router picked.")
 	m.latCacheHit = r.Histogram("aod_job_seconds", telemetry.Label("class", "cachehit"), "Job end-to-end latency by class.")
 	m.latSmall = r.Histogram("aod_job_seconds", telemetry.Label("class", "small"), "Job end-to-end latency by class.")
 	m.latLarge = r.Histogram("aod_job_seconds", telemetry.Label("class", "large"), "Job end-to-end latency by class.")
@@ -399,16 +454,21 @@ type Stats struct {
 	// PersistErrors are its health counters: corrupt files moved aside, and
 	// report write-throughs that failed (all zero without a Store).
 	// ReportEvictions counts report files deleted by the disk-budget GC.
-	Persistent      bool          `json:"persistent"`
-	Quarantined     uint64        `json:"quarantined"`
-	PersistErrors   uint64        `json:"persistErrors"`
-	ReportEvictions uint64        `json:"reportEvictions,omitempty"`
-	ValidationRuns  uint64        `json:"validationRuns"`
-	ValidationTime  time.Duration `json:"validationTimeNs"`
-	DiscoveryTime   time.Duration `json:"discoveryTimeNs"`
-	Workers         int           `json:"workers"`
-	QueueDepth      int           `json:"queueDepth"`
-	Uptime          time.Duration `json:"uptimeNs"`
+	Persistent      bool   `json:"persistent"`
+	Quarantined     uint64 `json:"quarantined"`
+	PersistErrors   uint64 `json:"persistErrors"`
+	ReportEvictions uint64 `json:"reportEvictions,omitempty"`
+	ValidationRuns  uint64 `json:"validationRuns"`
+	// JobsRouted* count validation runs by the executor the adaptive router
+	// picked (all three stay zero only when no job ever validates).
+	JobsRoutedSerial  uint64        `json:"jobsRoutedSerial"`
+	JobsRoutedPool    uint64        `json:"jobsRoutedPool"`
+	JobsRoutedSharded uint64        `json:"jobsRoutedSharded"`
+	ValidationTime    time.Duration `json:"validationTimeNs"`
+	DiscoveryTime     time.Duration `json:"discoveryTimeNs"`
+	Workers           int           `json:"workers"`
+	QueueDepth        int           `json:"queueDepth"`
+	Uptime            time.Duration `json:"uptimeNs"`
 	// Shards reports per-worker health and assignment counts when a shard
 	// pool backs job execution (aodserver -workers); absent otherwise.
 	Shards []aod.ShardWorkerStatus `json:"shards,omitempty"`
@@ -441,26 +501,29 @@ func (s *Service) Stats() Stats {
 	failed := s.met.jobsFailed.Value()
 	canceled := s.met.jobsCanceled.Value()
 	st := Stats{
-		Datasets:         s.registry.Len(),
-		DatasetsResident: s.registry.Resident(),
-		JobsSubmitted:    s.met.jobsSubmitted.Value(),
-		JobsDone:         done,
-		JobsFailed:       failed,
-		JobsCanceled:     canceled,
-		JobsInFlight:     s.met.inFlight.Value(),
-		JobsWaiting:      s.met.waiting.Value(),
-		JobsQueued:       queued,
-		CacheHits:        s.met.cacheHits.Value(),
-		CacheMisses:      s.met.cacheMisses.Value(),
-		CacheSize:        size,
-		CacheCapacity:    capacity,
-		CacheEvictions:   evictions,
-		ValidationRuns:   s.met.validationRuns.Value(),
-		ValidationTime:   time.Duration(s.met.validationNs.Value()),
-		DiscoveryTime:    time.Duration(s.met.discoveryNs.Value()),
-		Workers:          s.cfg.Workers,
-		QueueDepth:       s.cfg.QueueDepth,
-		Uptime:           time.Since(s.start),
+		Datasets:          s.registry.Len(),
+		DatasetsResident:  s.registry.Resident(),
+		JobsSubmitted:     s.met.jobsSubmitted.Value(),
+		JobsDone:          done,
+		JobsFailed:        failed,
+		JobsCanceled:      canceled,
+		JobsInFlight:      s.met.inFlight.Value(),
+		JobsWaiting:       s.met.waiting.Value(),
+		JobsQueued:        queued,
+		CacheHits:         s.met.cacheHits.Value(),
+		CacheMisses:       s.met.cacheMisses.Value(),
+		CacheSize:         size,
+		CacheCapacity:     capacity,
+		CacheEvictions:    evictions,
+		ValidationRuns:    s.met.validationRuns.Value(),
+		JobsRoutedSerial:  s.met.routedSerial.Value(),
+		JobsRoutedPool:    s.met.routedPool.Value(),
+		JobsRoutedSharded: s.met.routedSharded.Value(),
+		ValidationTime:    time.Duration(s.met.validationNs.Value()),
+		DiscoveryTime:     time.Duration(s.met.discoveryNs.Value()),
+		Workers:           s.cfg.Workers,
+		QueueDepth:        s.cfg.QueueDepth,
+		Uptime:            time.Since(s.start),
 	}
 	st.CacheDiskHits = s.cache.diskHits.Load()
 	st.PersistErrors = s.cache.persistErrors.Load()

@@ -16,7 +16,10 @@ import (
 func TestShardedServiceJobs(t *testing.T) {
 	pool := aod.LoopbackShardPool(2)
 	defer pool.Close()
-	s := New(Config{Workers: 2, ShardPool: pool})
+	// ShardCostMin 1 forces the adaptive router to pick the shard pool even
+	// for this test-sized dataset — the point here is the wire protocol, not
+	// the routing policy.
+	s := New(Config{Workers: 2, ShardPool: pool, ShardCostMin: 1})
 	defer s.Close()
 	local := New(Config{Workers: 1})
 	defer local.Close()

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aod/internal/telemetry"
 )
 
 // errWorkerDead marks a client whose connection already failed; calls on it
@@ -26,6 +28,12 @@ type workerClient struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// Wire-level telemetry handles, shared with the owning Cluster (nil-safe
+	// when the cluster has no registry).
+	txBytes *telemetry.Counter
+	rxBytes *telemetry.Counter
+	frames  *telemetry.Counter
 
 	mu   sync.Mutex // serializes request/response exchanges
 	dead atomic.Bool
@@ -58,25 +66,30 @@ func (c *workerClient) call(ctx context.Context, timeout time.Duration, f *frame
 	c.conn.SetDeadline(deadline)
 	stop := context.AfterFunc(ctx, func() { c.conn.SetDeadline(time.Now().Add(-time.Second)) })
 	defer stop()
-	if err := writeFrame(c.bw, f); err != nil {
-		c.kill()
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		c.kill()
-		return nil, err
-	}
-	rf, err := readFrame(c.br)
+	n, err := writeFrame(c.bw, f)
 	if err != nil {
 		c.kill()
 		return nil, err
 	}
+	c.txBytes.Add(uint64(n))
+	c.frames.Inc()
+	if err := c.bw.Flush(); err != nil {
+		c.kill()
+		return nil, err
+	}
+	rf, n, err := readFrame(c.br)
+	c.rxBytes.Add(uint64(n))
+	if err != nil {
+		c.kill()
+		return nil, err
+	}
+	c.frames.Inc()
 	return rf, nil
 }
 
-// handshake runs the hello/dataset exchange on a fresh connection. csv is
+// handshake runs the hello/dataset exchange on a fresh connection. payload is
 // called lazily, only when this worker's cache misses the fingerprint.
-func (c *workerClient) handshake(ctx context.Context, timeout time.Duration, hello *helloMsg, csv func() (*datasetMsg, error)) error {
+func (c *workerClient) handshake(ctx context.Context, timeout time.Duration, hello *helloMsg, payload func() (*datasetMsg, error)) error {
 	rf, err := c.call(ctx, timeout, &frame{T: "hello", Hello: hello})
 	if err != nil {
 		return err
@@ -87,7 +100,7 @@ func (c *workerClient) handshake(ctx context.Context, timeout time.Duration, hel
 		return err
 	}
 	if ack.NeedDataset {
-		ds, err := csv()
+		ds, err := payload()
 		if err != nil {
 			c.kill()
 			return fmt.Errorf("serializing dataset for %s: %w", c.addr, err)

@@ -2,7 +2,6 @@ package shard
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -87,6 +86,9 @@ type Cluster struct {
 	rpcHist    *telemetry.Histogram
 	retries    *telemetry.Counter
 	redispatch *telemetry.Counter
+	txBytes    *telemetry.Counter
+	rxBytes    *telemetry.Counter
+	frames     *telemetry.Counter
 }
 
 // initMetrics resolves the cluster's metric handles from Config.Metrics.
@@ -98,6 +100,9 @@ func (c *Cluster) initMetrics() {
 	c.rpcHist = r.Histogram("aod_shard_rpc_seconds", "", "Level-slice RPC round-trip latency.")
 	c.retries = r.Counter("aod_shard_retries_total", "", "Slices retried on another worker after a failure.")
 	c.redispatch = r.Counter("aod_shard_redispatch_total", "", "Straggling slices re-dispatched to a second worker.")
+	c.txBytes = r.Counter("aod_shard_bytes_total", telemetry.Label("dir", "tx"), "Shard protocol bytes by direction.")
+	c.rxBytes = r.Counter("aod_shard_bytes_total", telemetry.Label("dir", "rx"), "Shard protocol bytes by direction.")
+	c.frames = r.Counter("aod_shard_frames_total", "", "Shard protocol frames sent and received.")
 }
 
 // New returns a Cluster over TCP worker addresses (host:port).
@@ -170,22 +175,20 @@ func (c *Cluster) Open(ctx context.Context, tbl *dataset.Table, cfg core.Config)
 		Cols:        tbl.NumCols(),
 		Config:      cfg,
 	}
-	// The CSV payload is built at most once, and only if some worker needs
-	// it. Serialization can fail (content CSV cannot represent losslessly);
-	// then only workers that already cache the dataset are usable.
-	var csvOnce sync.Once
-	var csvMsg *datasetMsg
-	var csvErr error
-	csv := func() (*datasetMsg, error) {
-		csvOnce.Do(func() {
-			var buf bytes.Buffer
-			if err := dataset.WriteCSV(&buf, tbl); err != nil {
-				csvErr = err
-				return
+	// The columnar payload is assembled at most once, and only if some worker
+	// needs it. Column.Data aliases the table's rank buffers — zero copies on
+	// this side; the encoder streams them straight into the frame.
+	var payloadOnce sync.Once
+	var payloadMsg *datasetMsg
+	payload := func() (*datasetMsg, error) {
+		payloadOnce.Do(func() {
+			cols := make([]dataset.ColumnData, tbl.NumCols())
+			for i := range cols {
+				cols[i] = tbl.Column(i).Data()
 			}
-			csvMsg = &datasetMsg{CSV: buf.Bytes(), Types: tbl.ColumnTypes()}
+			payloadMsg = &datasetMsg{Rows: tbl.NumRows(), Cols: cols}
 		})
-		return csvMsg, csvErr
+		return payloadMsg, nil
 	}
 
 	clients := make([]*workerClient, len(c.addrs))
@@ -201,8 +204,12 @@ func (c *Cluster) Open(ctx context.Context, tbl *dataset.Table, cfg core.Config)
 				c.noteFailure(addr, fmt.Errorf("dial: %w", err))
 				return
 			}
-			w := &workerClient{addr: addr, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-			if err := w.handshake(dctx, c.cfg.DialTimeout, hello, csv); err != nil {
+			w := &workerClient{
+				addr: addr, conn: conn,
+				br: bufio.NewReader(conn), bw: bufio.NewWriter(conn),
+				txBytes: c.txBytes, rxBytes: c.rxBytes, frames: c.frames,
+			}
+			if err := w.handshake(dctx, c.cfg.DialTimeout, hello, payload); err != nil {
 				c.noteFailure(addr, err)
 				return
 			}

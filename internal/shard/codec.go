@@ -1,0 +1,653 @@
+// Binary codec for shard protocol v2 payload frames.
+//
+// The handshake frames (hello/ack) stay JSON — that is what makes version
+// skew detectable across protocol generations (see protocol.go) — but every
+// payload frame (dataset/level/result) is a compact binary body:
+//
+//	byte 0   binMagic (0xB2; never '{', so JSON and binary frames are
+//	         distinguishable from the first byte)
+//	byte 1   protocol version (2)
+//	byte 2   frame type (binDataset | binLevel | binResult)
+//	...      payload
+//
+// Integers are varints (unsigned where the value is a count/bitmask, zigzag
+// where deltas can go negative), float64s are fixed 8-byte little-endian bit
+// patterns (bit-exact round trip — removal errors feed byte-identical report
+// merging), and rank arrays are width-packed little-endian (1, 2, or 4 bytes
+// per rank depending on the column's distinct count). Dataset frames ship the
+// exact inputs of dataset.Fingerprint — per column: name, kind, distinct
+// values in rank order, dense rank array — so the worker reconstructs columns
+// directly (no CSV render/re-parse) and the fingerprint check in the
+// handshake proves the transfer lossless.
+//
+// Every decoder is total: arbitrary bytes produce an error, never a panic or
+// an unbounded allocation (counts are validated against the remaining payload
+// before any slice is allocated). FuzzDecodeFrame/FuzzDecodeTasks pin this.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"aod/internal/core"
+	"aod/internal/dataset"
+)
+
+const (
+	// binMagic is the first byte of every binary v2 frame body.
+	binMagic byte = 0xB2
+
+	binDataset byte = 1
+	binLevel   byte = 2
+	binResult  byte = 3
+)
+
+// maxWireAttrs bounds per-task attribute indexes and mask word counts: the
+// lattice works over AttrSet (uint64), so no well-formed peer ever exceeds 64
+// attributes. Enforcing it at decode keeps hostile frames from driving
+// out-of-range indexes into downstream pair-set code.
+const maxWireAttrs = 64
+
+var errFrameTruncated = errors.New("shard: truncated frame")
+
+// --- encode helpers ---------------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// appendRows32 encodes an int32 slice as count + zigzag deltas: removal-row
+// sets are (near-)sorted, so deltas are tiny, but the encoding is lossless
+// for any order.
+func appendRows32(b []byte, rows []int32) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	prev := int64(0)
+	for _, r := range rows {
+		b = binary.AppendVarint(b, int64(r)-prev)
+		prev = int64(r)
+	}
+	return b
+}
+
+// --- decode helpers ---------------------------------------------------------
+
+// wireReader walks a binary frame payload with total bounds checking.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errFrameTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errFrameTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads an element count and validates it against the bytes actually
+// left in the payload (each element occupies at least minBytes), so a hostile
+// count can never drive a large allocation.
+func (r *wireReader) count(minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(r.remaining()/minBytes) {
+		return 0, fmt.Errorf("shard: count %d exceeds frame payload", v)
+	}
+	return int(v), nil
+}
+
+func (r *wireReader) take(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, errFrameTruncated
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) byte() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, errFrameTruncated
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *wireReader) string() (string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *wireReader) float64() (float64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (r *wireReader) rows32() ([]int32, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, n)
+	prev := int64(0)
+	for i := range out {
+		d, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		if prev < math.MinInt32 || prev > math.MaxInt32 {
+			return nil, fmt.Errorf("shard: row index %d outside int32", prev)
+		}
+		out[i] = int32(prev)
+	}
+	return out, nil
+}
+
+// uvarints reads a count-prefixed []uint64, bounded by max elements.
+func (r *wireReader) uvarints(max int) ([]uint64, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n > max {
+		return nil, fmt.Errorf("shard: %d mask words exceeds bound %d", n, max)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- dataset frame ----------------------------------------------------------
+
+// rankWidth picks the narrowest little-endian byte width that can hold every
+// rank of a column with the given distinct count.
+func rankWidth(distinct int) int {
+	switch {
+	case distinct <= 1<<8:
+		return 1
+	case distinct <= 1<<16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func encodeDatasetPayload(b []byte, m *datasetMsg) []byte {
+	b = appendUvarint(b, uint64(m.Rows))
+	b = appendUvarint(b, uint64(len(m.Cols)))
+	for _, c := range m.Cols {
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Kind))
+		switch c.Kind {
+		case dataset.KindInt:
+			b = appendUvarint(b, uint64(len(c.Ints)))
+			prev := int64(0)
+			for _, v := range c.Ints {
+				// Distinct values are sorted ascending, so deltas are small
+				// and positive; zigzag keeps the first value (and any hostile
+				// unsorted input) lossless.
+				b = appendVarint(b, v-prev)
+				prev = v
+			}
+		case dataset.KindFloat:
+			b = appendUvarint(b, uint64(len(c.Floats)))
+			for _, v := range c.Floats {
+				b = appendFloat64(b, v)
+			}
+		default:
+			b = appendUvarint(b, uint64(len(c.Strings)))
+			for _, v := range c.Strings {
+				b = appendString(b, v)
+			}
+		}
+		w := rankWidth(distinctOf(c))
+		b = append(b, byte(w))
+		for _, rk := range c.Ranks {
+			switch w {
+			case 1:
+				b = append(b, byte(rk))
+			case 2:
+				b = binary.LittleEndian.AppendUint16(b, uint16(rk))
+			default:
+				b = binary.LittleEndian.AppendUint32(b, uint32(rk))
+			}
+		}
+	}
+	return b
+}
+
+func distinctOf(c dataset.ColumnData) int {
+	switch c.Kind {
+	case dataset.KindInt:
+		return len(c.Ints)
+	case dataset.KindFloat:
+		return len(c.Floats)
+	default:
+		return len(c.Strings)
+	}
+}
+
+func decodeDatasetPayload(r *wireReader) (*datasetMsg, error) {
+	rows64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rows64 > uint64(maxFrameBytes) {
+		return nil, fmt.Errorf("shard: row count %d exceeds frame limit", rows64)
+	}
+	rows := int(rows64)
+	ncols, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	m := &datasetMsg{Rows: rows, Cols: make([]dataset.ColumnData, 0, ncols)}
+	for i := 0; i < ncols; i++ {
+		var c dataset.ColumnData
+		if c.Name, err = r.string(); err != nil {
+			return nil, err
+		}
+		kb, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if kb > byte(dataset.KindString) {
+			return nil, fmt.Errorf("shard: column %q has unknown kind %d", c.Name, kb)
+		}
+		c.Kind = dataset.Kind(kb)
+		distinct, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		if distinct > rows {
+			return nil, fmt.Errorf("shard: column %q has %d distinct values over %d rows", c.Name, distinct, rows)
+		}
+		switch c.Kind {
+		case dataset.KindInt:
+			if distinct > 0 {
+				c.Ints = make([]int64, distinct)
+				prev := int64(0)
+				for j := range c.Ints {
+					d, err := r.varint()
+					if err != nil {
+						return nil, err
+					}
+					prev += d
+					c.Ints[j] = prev
+				}
+			}
+		case dataset.KindFloat:
+			if r.remaining() < 8*distinct {
+				return nil, errFrameTruncated
+			}
+			if distinct > 0 {
+				c.Floats = make([]float64, distinct)
+				for j := range c.Floats {
+					if c.Floats[j], err = r.float64(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		default:
+			if distinct > 0 {
+				c.Strings = make([]string, distinct)
+				for j := range c.Strings {
+					if c.Strings[j], err = r.string(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		w, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if w != 1 && w != 2 && w != 4 {
+			return nil, fmt.Errorf("shard: column %q has invalid rank width %d", c.Name, w)
+		}
+		raw, err := r.take(rows * int(w))
+		if err != nil {
+			return nil, err
+		}
+		c.Ranks = make([]int32, rows)
+		for j := 0; j < rows; j++ {
+			var rk uint32
+			switch w {
+			case 1:
+				rk = uint32(raw[j])
+			case 2:
+				rk = uint32(binary.LittleEndian.Uint16(raw[2*j:]))
+			default:
+				rk = binary.LittleEndian.Uint32(raw[4*j:])
+			}
+			if rk >= uint32(distinct) {
+				return nil, fmt.Errorf("shard: column %q row %d has rank %d outside [0,%d)", c.Name, j, rk, distinct)
+			}
+			c.Ranks[j] = int32(rk)
+		}
+		m.Cols = append(m.Cols, c)
+	}
+	return m, nil
+}
+
+// --- level frame ------------------------------------------------------------
+
+func encodeLevelPayload(b []byte, m *levelMsg) []byte {
+	b = appendUvarint(b, uint64(m.Level))
+	b = appendString(b, m.Trace)
+	b = appendUvarint(b, uint64(len(m.Tasks)))
+	for i := range m.Tasks {
+		t := &m.Tasks[i]
+		b = appendUvarint(b, t.Set)
+		b = appendUvarint(b, uint64(t.Level))
+		b = appendUvarint(b, t.ConstValid)
+		b = appendUvarint(b, uint64(len(t.ParentConst)))
+		for _, w := range t.ParentConst {
+			b = appendUvarint(b, w)
+		}
+		b = appendUvarint(b, uint64(len(t.OCValid)))
+		for _, w := range t.OCValid {
+			b = appendUvarint(b, w)
+		}
+		b = appendUvarint(b, uint64(len(t.OCValidDesc)))
+		for _, w := range t.OCValidDesc {
+			b = appendUvarint(b, w)
+		}
+	}
+	return b
+}
+
+func decodeLevelPayload(r *wireReader) (*levelMsg, error) {
+	lvl, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if lvl > maxWireAttrs {
+		return nil, fmt.Errorf("shard: level %d exceeds attribute bound", lvl)
+	}
+	m := &levelMsg{Level: int(lvl)}
+	if m.Trace, err = r.string(); err != nil {
+		return nil, err
+	}
+	tasks, err := decodeTasks(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Tasks = tasks
+	return m, nil
+}
+
+func decodeTasks(r *wireReader) ([]core.NodeTask, error) {
+	n, err := r.count(3) // a task is at least set+level+constValid
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	tasks := make([]core.NodeTask, n)
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Set, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		lvl, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if lvl > maxWireAttrs {
+			return nil, fmt.Errorf("shard: task level %d exceeds attribute bound", lvl)
+		}
+		t.Level = int(lvl)
+		if t.ConstValid, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if t.ParentConst, err = r.uvarints(maxWireAttrs); err != nil {
+			return nil, err
+		}
+		if t.OCValid, err = r.uvarints(maxWireAttrs); err != nil {
+			return nil, err
+		}
+		if t.OCValidDesc, err = r.uvarints(maxWireAttrs); err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
+
+// --- result frame -----------------------------------------------------------
+
+func encodeResultPayload(b []byte, m *resultMsg) ([]byte, error) {
+	b = appendString(b, m.Error)
+	b = appendUvarint(b, uint64(len(m.Results)))
+	for i := range m.Results {
+		nr := &m.Results[i]
+		b = appendUvarint(b, uint64(nr.Candidates))
+		b = appendUvarint(b, nr.NewConst)
+		b = appendUvarint(b, uint64(len(nr.OCs)))
+		for j := range nr.OCs {
+			oc := &nr.OCs[j]
+			b = appendUvarint(b, uint64(oc.A))
+			b = appendUvarint(b, uint64(oc.B))
+			if oc.Descending {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendFloat64(b, oc.Error)
+			b = appendUvarint(b, uint64(oc.Removals))
+			b = appendRows32(b, oc.RemovalRows)
+		}
+		b = appendUvarint(b, uint64(len(nr.OFDs)))
+		for j := range nr.OFDs {
+			ofd := &nr.OFDs[j]
+			b = appendUvarint(b, uint64(ofd.A))
+			b = appendFloat64(b, ofd.Error)
+			b = appendUvarint(b, uint64(ofd.Removals))
+			b = appendRows32(b, ofd.RemovalRows)
+		}
+		st := &nr.Stats
+		b = appendUvarint(b, uint64(st.OCCandidates))
+		b = appendUvarint(b, uint64(st.OFDCandidates))
+		b = appendUvarint(b, uint64(st.OCSkippedMinimality))
+		b = appendUvarint(b, uint64(st.OCSkippedConstancy))
+		b = appendUvarint(b, uint64(st.OFDSkipped))
+		b = appendUvarint(b, uint64(st.OCSampledRejected))
+		b = appendUvarint(b, uint64(st.ValidationTime))
+		b = appendUvarint(b, uint64(st.PartitionTime))
+	}
+	// Worker span trees are nested and rare (tracing only); they ride as a
+	// length-prefixed JSON blob rather than warranting a binary schema.
+	if len(m.Spans) == 0 {
+		b = appendUvarint(b, 0)
+		return b, nil
+	}
+	js, err := json.Marshal(m.Spans)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode spans: %w", err)
+	}
+	b = appendUvarint(b, uint64(len(js)))
+	return append(b, js...), nil
+}
+
+func decodeResultPayload(r *wireReader) (*resultMsg, error) {
+	m := &resultMsg{}
+	var err error
+	if m.Error, err = r.string(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(2) // a result is at least candidates+newConst+... bytes
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Results = make([]core.NodeResult, n)
+	}
+	for i := range m.Results {
+		nr := &m.Results[i]
+		cand, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cand > uint64(math.MaxInt) {
+			return nil, fmt.Errorf("shard: candidate count %d overflows", cand)
+		}
+		nr.Candidates = int(cand)
+		if nr.NewConst, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		nocs, err := r.count(12) // a/b/desc/error8/removals at minimum
+		if err != nil {
+			return nil, err
+		}
+		if nocs > 0 {
+			nr.OCs = make([]core.TaskOC, nocs)
+		}
+		for j := range nr.OCs {
+			oc := &nr.OCs[j]
+			if oc.A, err = r.attrIndex(); err != nil {
+				return nil, err
+			}
+			if oc.B, err = r.attrIndex(); err != nil {
+				return nil, err
+			}
+			d, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			oc.Descending = d != 0
+			if oc.Error, err = r.float64(); err != nil {
+				return nil, err
+			}
+			rem, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			oc.Removals = int(rem)
+			if oc.RemovalRows, err = r.rows32(); err != nil {
+				return nil, err
+			}
+		}
+		nofds, err := r.count(11)
+		if err != nil {
+			return nil, err
+		}
+		if nofds > 0 {
+			nr.OFDs = make([]core.TaskOFD, nofds)
+		}
+		for j := range nr.OFDs {
+			ofd := &nr.OFDs[j]
+			if ofd.A, err = r.attrIndex(); err != nil {
+				return nil, err
+			}
+			if ofd.Error, err = r.float64(); err != nil {
+				return nil, err
+			}
+			rem, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			ofd.Removals = int(rem)
+			if ofd.RemovalRows, err = r.rows32(); err != nil {
+				return nil, err
+			}
+		}
+		st := &nr.Stats
+		ints := [6]*int{&st.OCCandidates, &st.OFDCandidates, &st.OCSkippedMinimality,
+			&st.OCSkippedConstancy, &st.OFDSkipped, &st.OCSampledRejected}
+		for _, p := range ints {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			*p = int(v)
+		}
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		st.ValidationTime = time.Duration(v)
+		if v, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		st.PartitionTime = time.Duration(v)
+	}
+	spanLen, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if spanLen > 0 {
+		js, err := r.take(spanLen)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(js, &m.Spans); err != nil {
+			return nil, fmt.Errorf("shard: decode spans: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// attrIndex reads one attribute index, bounded to the lattice's 64-attribute
+// universe so results can never index a pair set out of range.
+func (r *wireReader) attrIndex() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v >= maxWireAttrs {
+		return 0, fmt.Errorf("shard: attribute index %d exceeds bound", v)
+	}
+	return int(v), nil
+}

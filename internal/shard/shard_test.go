@@ -78,10 +78,23 @@ func TestExecutorEquivalenceMatrix(t *testing.T) {
 	for tname, tbl := range tables {
 		for cname, cfg := range configs {
 			want := discoverWith(t, tbl, cfg, core.Serial())
+			// sharded-straggler exercises pipelined dispatch under skew: one
+			// worker delays every slice past the straggler deadline, so level
+			// N+1 pre-dispatch, re-dispatch races, and in-order commit all
+			// interleave — and the result must still be byte-identical.
+			straggler := NewLoopback(Config{StragglerAfter: 5 * time.Millisecond}, []*Worker{
+				NewWorker(WorkerOptions{}),
+				NewWorker(WorkerOptions{LevelHook: func(level, tasks int) error {
+					time.Sleep(15 * time.Millisecond)
+					return nil
+				}}),
+				NewWorker(WorkerOptions{}),
+			})
 			executors := map[string]core.Executor{
-				"pool-3":      core.Pool(3),
-				"sharded-lb2": core.Sharded(Loopback(2)),
-				"sharded-lb3": core.Sharded(Loopback(3)),
+				"pool-3":            core.Pool(3),
+				"sharded-lb2":       core.Sharded(Loopback(2)),
+				"sharded-lb3":       core.Sharded(Loopback(3)),
+				"sharded-straggler": core.Sharded(straggler),
 			}
 			for ename, exec := range executors {
 				got := discoverWith(t, tbl, cfg, exec)
@@ -264,21 +277,41 @@ func TestStragglerRedispatch(t *testing.T) {
 	}
 }
 
-// TestFrameRoundTrip pins the framing layer.
+// TestFrameRoundTrip pins the framing layer across both encodings: a binary
+// payload frame and a JSON handshake frame.
 func TestFrameRoundTrip(t *testing.T) {
-	c1, c2 := net.Pipe()
-	defer c1.Close()
-	defer c2.Close()
-	in := &frame{T: "level", Level: &levelMsg{Level: 3, Tasks: []core.NodeTask{{
-		Set: 0b1011, Level: 3, ConstValid: 0b0010,
-		ParentConst: []uint64{0, 2, 0}, OCValid: []uint64{5},
-	}}}}
-	go func() { _ = writeFrame(c1, in) }()
-	out, err := readFrame(c2)
-	if err != nil {
-		t.Fatal(err)
+	frames := []*frame{
+		{T: "level", Level: &levelMsg{Level: 3, Trace: "tr-1", Tasks: []core.NodeTask{{
+			Set: 0b1011, Level: 3, ConstValid: 0b0010,
+			ParentConst: []uint64{0, 2, 0}, OCValid: []uint64{5},
+		}}}},
+		{T: "hello", Hello: &helloMsg{Proto: protoVersion, Fingerprint: "fp", Rows: 7, Cols: 3}},
+		{T: "result", Result: &resultMsg{Results: []core.NodeResult{{
+			Candidates: 2, NewConst: 0b100,
+			OCs: []core.TaskOC{{A: 1, B: 2, Descending: true, Error: 0.25,
+				Removals: 3, RemovalRows: []int32{4, 9, 11}}},
+			OFDs: []core.TaskOFD{{A: 0, Error: 0.5, Removals: 1, RemovalRows: []int32{2}}},
+		}}}},
 	}
-	if !reflect.DeepEqual(in, out) {
-		t.Errorf("frame round trip:\nwant %+v\ngot  %+v", in, out)
+	for _, in := range frames {
+		c1, c2 := net.Pipe()
+		go func() {
+			n, err := writeFrame(c1, in)
+			if err != nil || n <= 4 {
+				t.Errorf("%s: writeFrame returned (%d, %v)", in.T, n, err)
+			}
+			c1.Close()
+		}()
+		out, n, err := readFrame(c2)
+		c2.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", in.T, err)
+		}
+		if n <= 4 {
+			t.Errorf("%s: readFrame consumed %d bytes", in.T, n)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%s frame round trip:\nwant %+v\ngot  %+v", in.T, in, out)
+		}
 	}
 }

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeJSONFrame hand-rolls a length-prefixed JSON frame the way every
+// protocol generation does — the handshake stays JSON across versions
+// precisely so that skew tests like these exercise the real rejection path,
+// not a simulation of it.
+func writeJSONFrame(t *testing.T, conn net.Conn, v any) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := conn.Write(append(hdr[:], body...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readJSONFrame(t *testing.T, conn net.Conn, v any) {
+	t.Helper()
+	var hdr [4]byte
+	if _, err := conn.Read(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := conn.Read(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+}
+
+// TestVersionSkewV1CoordinatorRejected pins the forward half of the skew
+// contract: a v1 coordinator greeting a v2 worker gets an explicit in-band
+// ack error naming both protocol numbers — never a hang or a garbage decode.
+func TestVersionSkewV1CoordinatorRejected(t *testing.T) {
+	w := NewWorker(WorkerOptions{})
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() { w.ServeConn(server); close(done) }()
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// A v1 hello is byte-compatible with a v2 hello: JSON with proto: 1.
+	writeJSONFrame(t, client, &frame{T: "hello", Hello: &helloMsg{Proto: 1, Fingerprint: "fp", Rows: 10, Cols: 2}})
+	var rf frame
+	readJSONFrame(t, client, &rf)
+	if rf.T != "ack" || rf.Ack == nil {
+		t.Fatalf("v2 worker answered a v1 hello with %+v, want an ack", rf)
+	}
+	if rf.Ack.OK || rf.Ack.Error == "" {
+		t.Fatalf("v2 worker accepted a v1 hello: %+v", rf.Ack)
+	}
+	if !strings.Contains(rf.Ack.Error, "protocol 1") || !strings.Contains(rf.Ack.Error, "want 2") {
+		t.Errorf("skew rejection should name both versions, got %q", rf.Ack.Error)
+	}
+	client.Close()
+	<-done
+}
+
+// TestVersionSkewV1WorkerRejected pins the reverse half: a v2 coordinator
+// dialing a v1 worker (which parses the JSON hello, sees proto 2, and
+// refuses in-band exactly as v1 did) surfaces a clear handshake error.
+func TestVersionSkewV1WorkerRejected(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		// Simulated v1 worker: all-JSON protocol, refuses proto != 1 with the
+		// same in-band ack shape v2 uses.
+		defer server.Close()
+		br := bufio.NewReader(server)
+		f, _, err := readFrame(br) // v1 parses any generation's JSON hello
+		if err != nil || f.T != "hello" || f.Hello == nil {
+			return
+		}
+		body, _ := json.Marshal(&frame{T: "ack", Ack: &ackMsg{
+			Error: "protocol 2 not supported (want 1)",
+		}})
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		server.Write(append(hdr[:], body...))
+	}()
+
+	c := &workerClient{addr: "v1-worker", conn: client, br: bufio.NewReader(client), bw: bufio.NewWriter(client)}
+	err := c.handshake(context.Background(), 5*time.Second,
+		&helloMsg{Proto: protoVersion, Fingerprint: "fp", Rows: 10, Cols: 2}, nil)
+	if err == nil {
+		t.Fatal("handshake with a v1 worker succeeded, want an explicit rejection")
+	}
+	if !strings.Contains(err.Error(), "protocol 2 not supported (want 1)") {
+		t.Errorf("skew error should carry the worker's refusal verbatim, got %v", err)
+	}
+	if !c.dead.Load() {
+		t.Error("a refused handshake should mark the worker client dead")
+	}
+}
+
+// TestVersionSkewBinaryFrameRejected pins that a binary frame from a
+// different protocol generation (wrong version byte) is refused at decode,
+// before any payload parsing.
+func TestVersionSkewBinaryFrameRejected(t *testing.T) {
+	body := encodeLevelPayload([]byte{binMagic, protoVersion + 1, binLevel}, &levelMsg{Level: 1})
+	if _, err := decodeFrame(body); err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("decodeFrame accepted a version-skewed binary frame: %v", err)
+	}
+}

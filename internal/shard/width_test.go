@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"testing"
+
+	"aod/internal/core"
+	"aod/internal/gen"
+)
+
+// activeWorkers counts the cluster's workers that were handed at least one
+// node task.
+func activeWorkers(c *Cluster) int {
+	n := 0
+	for _, st := range c.Snapshot() {
+		if st.AssignedTasks > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestShardedQuantumWidthPolicy pins the adaptive fan-out end to end: a job
+// far below one work quantum engages exactly one of four loopback workers, a
+// disabled quantum fans out to all four, and both produce the serial result
+// byte for byte.
+func TestShardedQuantumWidthPolicy(t *testing.T) {
+	tbl := gen.Flight(gen.FlightConfig{Rows: 600, Attrs: 7, Seed: 5})
+	cfg := core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal, IncludeOFDs: true}
+	want := discoverWith(t, tbl, cfg, core.Serial())
+
+	// 600×7×7 ≈ 29K work units: far below DefaultShardWorkQuantum, so the
+	// width policy must keep the whole job on a single worker.
+	narrow := Loopback(4)
+	defer narrow.Close()
+	got := discoverWith(t, tbl, cfg, core.ShardedQuantum(narrow, 0))
+	requireIdentical(t, "quantum-default", want, got)
+	if n := activeWorkers(narrow); n != 1 {
+		t.Errorf("default quantum on a tiny job engaged %d workers, want 1", n)
+	}
+
+	// A negative quantum disables the cap: every worker takes a slice
+	// (levels here always have at least 4 tasks until the lattice thins).
+	wide := Loopback(4)
+	defer wide.Close()
+	got = discoverWith(t, tbl, cfg, core.ShardedQuantum(wide, -1))
+	requireIdentical(t, "quantum-uncapped", want, got)
+	if n := activeWorkers(wide); n != 4 {
+		t.Errorf("uncapped quantum engaged %d workers, want all 4", n)
+	}
+
+	// One worker per quantum: a quantum sized at a third of the job's
+	// estimate engages exactly three of the four workers.
+	cost := int64(600 * 7 * 7)
+	three := Loopback(4)
+	defer three.Close()
+	got = discoverWith(t, tbl, cfg, core.ShardedQuantum(three, cost/3))
+	requireIdentical(t, "quantum-thirds", want, got)
+	if n := activeWorkers(three); n != 3 {
+		t.Errorf("cost/3 quantum engaged %d workers, want 3", n)
+	}
+}

@@ -2,7 +2,6 @@ package shard
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -52,6 +51,12 @@ type Worker struct {
 	tasksRun     atomic.Uint64
 	datasetLoads atomic.Uint64
 
+	// Wire-level counters (bytes and frames across all connections), the
+	// worker-side mirror of the cluster's aod_shard_* metrics.
+	bytesTx    atomic.Uint64
+	bytesRx    atomic.Uint64
+	wireFrames atomic.Uint64
+
 	// execHist observes per-slice execution latency (nil without Metrics).
 	execHist *telemetry.Histogram
 }
@@ -77,6 +82,9 @@ func NewWorker(opts WorkerOptions) *Worker {
 		r.CounterFunc("aodworker_levels_total", "", "Level slices processed.", w.levelsRun.Load)
 		r.CounterFunc("aodworker_tasks_total", "", "Node tasks processed.", w.tasksRun.Load)
 		r.CounterFunc("aodworker_dataset_loads_total", "", "Dataset payloads shipped to this worker.", w.datasetLoads.Load)
+		r.CounterFunc("aod_shard_bytes_total", telemetry.Label("dir", "tx"), "Shard protocol bytes by direction.", w.bytesTx.Load)
+		r.CounterFunc("aod_shard_bytes_total", telemetry.Label("dir", "rx"), "Shard protocol bytes by direction.", w.bytesRx.Load)
+		r.CounterFunc("aod_shard_frames_total", "", "Shard protocol frames sent and received.", w.wireFrames.Load)
 		r.GaugeFunc("aodworker_cached_datasets", "", "Prepared datasets currently cached.", func() int64 { return int64(w.CachedDatasets()) })
 		w.execHist = r.Histogram("aodworker_slice_exec_seconds", "", "Per-slice execution latency.")
 	}
@@ -142,7 +150,7 @@ func (w *Worker) ServeConn(conn net.Conn) {
 	var prevEncodeNs int64
 	var prevHits, prevBuilds uint64
 	for {
-		f, err := readFrame(br)
+		f, err := w.readFrame(br)
 		if err != nil {
 			return // session over (EOF on clean close)
 		}
@@ -236,10 +244,20 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// readFrame reads one frame, folding its size into the wire counters.
+func (w *Worker) readFrame(br *bufio.Reader) (*frame, error) {
+	f, n, err := readFrame(br)
+	w.bytesRx.Add(uint64(n))
+	if err == nil {
+		w.wireFrames.Add(1)
+	}
+	return f, err
+}
+
 // handshake negotiates the session: protocol version, dataset (shipping the
 // payload when the fingerprint misses the cache), and configuration.
 func (w *Worker) handshake(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (*core.TaskRunner, error) {
-	f, err := readFrame(br)
+	f, err := w.readFrame(br)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +275,7 @@ func (w *Worker) handshake(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (*
 		if !w.reply(bw, &frame{T: "ack", Ack: &ackMsg{OK: true, NeedDataset: true}}) {
 			return nil, fmt.Errorf("requesting dataset")
 		}
-		df, err := readFrame(br)
+		df, err := w.readFrame(br)
 		if err != nil {
 			return nil, err
 		}
@@ -265,9 +283,9 @@ func (w *Worker) handshake(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (*
 			return nil, fmt.Errorf("expected dataset, got %q", df.T)
 		}
 		w.datasetLoads.Add(1)
-		tbl, err := dataset.ReadCSV(bytes.NewReader(df.Dataset.CSV), dataset.CSVOptions{Types: df.Dataset.Types})
+		tbl, err := dataset.TableFromColumns(df.Dataset.Rows, df.Dataset.Cols)
 		if err != nil {
-			w.reply(bw, &frame{T: "ack", Ack: &ackMsg{Error: "parsing dataset: " + err.Error()}})
+			w.reply(bw, &frame{T: "ack", Ack: &ackMsg{Error: "rebuilding dataset: " + err.Error()}})
 			return nil, err
 		}
 		if got := dataset.Fingerprint(tbl); got != h.Fingerprint {
@@ -292,9 +310,12 @@ func (w *Worker) handshake(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) (*
 }
 
 func (w *Worker) reply(bw *bufio.Writer, f *frame) bool {
-	if err := writeFrame(bw, f); err != nil {
+	n, err := writeFrame(bw, f)
+	if err != nil {
 		return false
 	}
+	w.bytesTx.Add(uint64(n))
+	w.wireFrames.Add(1)
 	return bw.Flush() == nil
 }
 

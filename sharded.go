@@ -104,5 +104,5 @@ func DiscoverShardedStreamContext(ctx context.Context, d *Dataset, opts Options,
 	if pool == nil {
 		return DiscoverStreamContext(ctx, d, opts, onLevel)
 	}
-	return discoverStreamExec(ctx, d, opts, core.Sharded(pool.cluster), onLevel)
+	return discoverStreamExec(ctx, d, opts, core.ShardedQuantum(pool.cluster, opts.ShardWorkQuantum), onLevel)
 }
