@@ -60,6 +60,7 @@ func run() int {
 		baseline     = flag.String("baseline", "", "gate against this aod-bench/v1 snapshot (e.g. BENCH_7.json)")
 		tolerance    = flag.Float64("tolerance", 1.0, "allowed latency growth vs -baseline (1.0 = fail past 2x)")
 		planOnly     = flag.Bool("plan-only", false, "print the deterministic request plan and exit without contacting the server")
+		scenario     = flag.String("scenario", "", "traffic preset overriding -mix/-datasets: repeat-heavy (one small dataset, perturbed-options repeats — drives the server's partition cache)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,10 @@ func run() int {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "aodload: "+format+"\n", args...)
 		},
+	}
+	if cfg, err = load.ApplyScenario(cfg, *scenario); err != nil {
+		fmt.Fprintln(os.Stderr, "aodload:", err)
+		return 2
 	}
 
 	if *planOnly {

@@ -101,6 +101,7 @@ func main() {
 	serialCostMax := flag.Int64("serial-cost-max", service.DefaultSerialCostMax, "adaptive routing: run jobs with work estimate (rows×cols×levels) at or below this serially (negative = no serial tier)")
 	shardCostMin := flag.Int64("shard-cost-min", service.DefaultShardCostMin, "adaptive routing: dispatch jobs with work estimate at or above this to the shard pool (negative = shard everything)")
 	shardQuantum := flag.Int64("shard-quantum", 0, "sharded jobs engage one worker per this much estimated work, bounded by the pool size (0 = built-in default; negative = always the full pool)")
+	partitionCache := flag.Int64("partition-cache-bytes", service.DefaultPartitionCacheBytes, "byte budget of the cross-job partition cache and shared arena; repeat jobs over a registered dataset skip cold-start partitioning (negative disables)")
 	maxQueueWait := flag.Duration("max-queue-wait", time.Minute, "age bound for cost-ordered scheduling: a job queued this long runs next regardless of size (negative disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	peersFlag := flag.String("peers", "", "comma-separated base URLs of replica aodservers to ask for cached reports before recomputing (result-cache peering)")
@@ -184,6 +185,8 @@ func main() {
 		SerialCostMax:    *serialCostMax,
 		ShardCostMin:     *shardCostMin,
 		ShardWorkQuantum: *shardQuantum,
+
+		PartitionCacheBytes: *partitionCache,
 	})
 	handler := service.NewHandler(svc, service.HandlerConfig{MaxUploadBytes: *maxUpload})
 

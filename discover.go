@@ -336,8 +336,20 @@ func DiscoverStreamContext(ctx context.Context, d *Dataset, opts Options, onLeve
 // executor (nil = serial): the seam DiscoverStreamContext (serial/pool) and
 // DiscoverShardedStreamContext (shard pool) both run through.
 func discoverStreamExec(ctx context.Context, d *Dataset, opts Options, exec core.Executor, onLevel ProgressFunc) (*Report, error) {
+	return discoverWarmExec(ctx, d, opts, exec, Warm{}, onLevel)
+}
+
+// discoverWarmExec additionally threads warm cross-job state (prepared
+// partitions, shared arena) into the pipeline. A zero Warm is a cold run.
+func discoverWarmExec(ctx context.Context, d *Dataset, opts Options, exec core.Executor, warm Warm, onLevel ProgressFunc) (*Report, error) {
 	cfg := opts.config()
 	pipe := core.Pipeline{Executor: exec}
+	if warm.Prepared != nil {
+		pipe.Prepared = warm.Prepared.prep
+	}
+	if warm.Arena != nil {
+		pipe.Arena = warm.Arena.a
+	}
 	names := d.ColumnNames()
 	if onLevel != nil {
 		pipe.Sink = func(s core.Snapshot) {

@@ -247,6 +247,37 @@ func jsonWorkloads(seed int64) []struct {
 				}
 			}
 		}},
+		{"discover-repeat/cold/n=100000,attrs=4", func(b *testing.B) {
+			// The repeat-job trajectory, cold half: every iteration pays the
+			// full cold start — single-column partition build (Prepare) plus
+			// discovery — exactly what a server without the partition cache
+			// does for every job over the same dataset. The wide-and-shallow
+			// shape (100k rows, 4 attrs) makes the prepare cost a substantial
+			// fraction of the job, as it is for the paper's row-heavy inputs.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prep := core.Prepare(ncv100k)
+				if _, err := (core.Pipeline{Prepared: prep}).Run(context.Background(), ncv100k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"discover-repeat/warm/n=100000,attrs=4", func(b *testing.B) {
+			// Warm half: the singles are prepared once and every iteration
+			// reuses them through the Pipeline.Prepared seam plus a shared
+			// bounded arena — the exact server path a partition-cache hit
+			// takes (-partition-cache-bytes). The gap between this trajectory
+			// and discover-repeat/cold IS the cross-job memoization win.
+			prep := core.Prepare(ncv100k)
+			arena := partition.NewArenaLimit(256 << 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.Pipeline{Prepared: prep, Arena: arena}).Run(context.Background(), ncv100k, core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"discover-exact-sortedscan/n=5000,attrs=10", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

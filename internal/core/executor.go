@@ -36,8 +36,12 @@ func (s *serialExecutor) close() {}
 // goroutines when workers > 1. Cancellation is polled per column so an abort
 // doesn't pay for the whole O(cols · rows) startup phase on large tables; it
 // returns false when the run was aborted (some singles may be nil then — the
-// caller must not touch them).
+// caller must not touch them). Pre-injected singles (a warm Pipeline.Prepared
+// start) short-circuit the build entirely.
 func (t *traversal) buildSingles(workers int) bool {
+	if t.singles != nil {
+		return !t.abortedInto(&t.res.Stats)
+	}
 	t.singles = make([]*partition.Stripped, t.numAttrs)
 	if workers <= 1 {
 		for a := 0; a < t.numAttrs; a++ {
@@ -134,7 +138,7 @@ func (p *poolExecutor) runLevel(t *traversal, cur, prev, prev2 *lattice.Level) i
 	// Phase 1: materialize this level's parent partitions in parallel — safe
 	// because every node only writes to itself once its parents are
 	// materialized, and parents live on already-complete levels.
-	p.materializeLevel(t, prev)
+	materializeLevel(t, prev, p.workers)
 
 	// Phase 2: validate candidates of all nodes concurrently. Each worker
 	// owns an engine (validator + scratch); per-node outputs are merged in
@@ -179,16 +183,18 @@ func (p *poolExecutor) runLevel(t *traversal, cur, prev, prev2 *lattice.Level) i
 }
 
 // materializeLevel ensures every node of the level has its partition, in
-// parallel. The context is polled per node so a canceled run does not pay for
-// a whole level's partitioning; skipped nodes materialize lazily if ever
-// touched (they won't be — the caller aborts next).
-func (p *poolExecutor) materializeLevel(t *traversal, lvl *lattice.Level) {
+// parallel across `workers` goroutines (the pool executor's phase 1; the
+// sharded executor reuses it before shipping partition frames). The context
+// is polled per node so a canceled run does not pay for a whole level's
+// partitioning; skipped nodes materialize lazily if ever touched (they won't
+// be — the caller aborts next).
+func materializeLevel(t *traversal, lvl *lattice.Level, workers int) {
 	if lvl == nil {
 		return
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan *lattice.Node)
-	for w := 0; w < p.workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

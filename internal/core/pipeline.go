@@ -91,6 +91,16 @@ type Pipeline struct {
 	// Sink, when non-nil, receives a Snapshot after every completed level;
 	// the last snapshot of a run has Final set.
 	Sink ProgressSink
+	// Prepared, when non-nil and built for the run's exact table, supplies the
+	// single-attribute partitions so the run skips the cold-start partitioning
+	// phase entirely — the server's cross-job warm path. Its partitions are
+	// shared (partition.Share), so concurrent runs may hold one PreparedTable.
+	// A Prepared for a different table is ignored, not an error.
+	Prepared *PreparedTable
+	// Arena, when non-nil, replaces the run's private partition arena — the
+	// server injects one bounded arena shared across jobs so steady-state
+	// partition churn recycles instead of pressuring the GC.
+	Arena *partition.Arena
 }
 
 // traversal is the shared state of one pipeline run: input, configuration,
@@ -226,6 +236,14 @@ func (p Pipeline) Run(ctx context.Context, tbl *dataset.Table, cfg Config) (*Res
 		start:    time.Now(),
 		res:      &Result{},
 		trace:    trace,
+	}
+	if p.Arena != nil {
+		t.arena = p.Arena
+	}
+	if p.Prepared != nil && p.Prepared.tbl == tbl {
+		// Warm start: adopt the cached singles; buildSingles becomes a no-op
+		// and the "partition-build" span below records (near) zero time.
+		t.singles = p.Prepared.singles
 	}
 	t.traceRoot = traceParent
 	st := &t.res.Stats

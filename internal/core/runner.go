@@ -20,17 +20,30 @@ type PreparedTable struct {
 	singles []*partition.Stripped
 }
 
-// Prepare builds the per-attribute partitions for the table.
+// Prepare builds the per-attribute partitions for the table. The partitions
+// are marked shared (partition.Share): arenas refuse to reclaim their
+// buffers, so one PreparedTable is safe to hand to any number of concurrent
+// jobs — the server's cross-job partition cache depends on this.
 func Prepare(tbl *dataset.Table) *PreparedTable {
 	singles := make([]*partition.Stripped, tbl.NumCols())
 	for a := range singles {
-		singles[a] = partition.Single(tbl.Column(a))
+		singles[a] = partition.Single(tbl.Column(a)).Share()
 	}
 	return &PreparedTable{tbl: tbl, singles: singles}
 }
 
 // Table returns the underlying table.
 func (p *PreparedTable) Table() *dataset.Table { return p.tbl }
+
+// MemBytes reports the retained partition-buffer bytes of the prepared
+// singles — the accounting currency of the server's bounded partition cache.
+func (p *PreparedTable) MemBytes() int64 {
+	var b int64
+	for _, s := range p.singles {
+		b += s.MemBytes()
+	}
+	return b
+}
 
 // TaskRunner executes NodeTasks against a prepared table — the worker-side
 // counterpart of the executors. It owns a validator, an arena, and a
@@ -43,6 +56,28 @@ type TaskRunner struct {
 	t   *traversal
 	eng *engine
 	src *foldSource
+	// seeds are coordinator-shipped context partitions waiting to be
+	// installed into the next RunLevel's fresh memo generation (installing
+	// before rotate would let the rotation recycle them mid-level).
+	seeds []SeedPartition
+}
+
+// SeedPartition is one coordinator-shipped context partition: the runner
+// installs it into its fold memo so the level's tasks resolve the set by
+// lookup instead of re-folding it from single-attribute partitions. The
+// partition must be in canonical fold order (the product of the two
+// smallest-attribute subsets, recursively) — shipped partitions come from
+// the coordinator's lattice, which builds them exactly that way.
+type SeedPartition struct {
+	Set  lattice.AttrSet
+	Part *partition.Stripped
+}
+
+// SeedPartitions queues shipped partitions for the next RunLevel call. The
+// runner takes ownership: seeds recycle into its arena like any built
+// partition once their generation dies.
+func (r *TaskRunner) SeedPartitions(seeds []SeedPartition) {
+	r.seeds = append(r.seeds, seeds...)
 }
 
 // NewTaskRunner validates the configuration against the table and returns a
@@ -78,6 +113,15 @@ func (r *TaskRunner) PartitionCacheStats() (hits, builds uint64) {
 	return r.src.hits, r.src.builds
 }
 
+// SeededPartitions returns how many coordinator-shipped partitions were
+// installed into the fold memo (duplicates of already-memoized sets are
+// recycled, not counted).
+func (r *TaskRunner) SeededPartitions() uint64 { return r.src.seeded }
+
+// NumRows returns the prepared table's row count — the bound incoming seed
+// partitions are validated against.
+func (r *TaskRunner) NumRows() int { return r.t.tbl.NumRows() }
+
 // RunLevel executes one slice of a lattice level in task order. The context
 // bounds the work: when it is canceled (the coordinator gave up on this
 // shard), the remaining tasks are skipped and the partial results are
@@ -85,6 +129,10 @@ func (r *TaskRunner) PartitionCacheStats() (hits, builds uint64) {
 func (r *TaskRunner) RunLevel(ctx context.Context, tasks []NodeTask) []NodeResult {
 	r.t.ctx = ctx
 	r.src.rotate()
+	if len(r.seeds) > 0 {
+		r.src.install(r.seeds)
+		r.seeds = r.seeds[:0]
+	}
 	out := make([]NodeResult, len(tasks))
 	for i := range tasks {
 		if ctx != nil && ctx.Err() != nil {
@@ -105,8 +153,32 @@ type foldSource struct {
 	memo, prev map[lattice.AttrSet]*partition.Stripped
 	universe   *partition.Stripped
 	// hits counts memoized (or generation-carried) partition lookups; builds
-	// counts fresh arena products — the worker's partition-cache telemetry.
-	hits, builds uint64
+	// counts fresh arena products; seeded counts coordinator-shipped
+	// partitions adopted into the memo — the worker's partition telemetry.
+	hits, builds, seeded uint64
+}
+
+// install adopts shipped partitions into the live generation. A set the memo
+// (or the carried previous generation) already holds wins — the local copy is
+// arena-recycled memory — and the duplicate seed's buffers recycle instead.
+func (s *foldSource) install(seeds []SeedPartition) {
+	for _, sd := range seeds {
+		if sd.Part == nil {
+			continue
+		}
+		if _, ok := s.memo[sd.Set]; ok {
+			s.r.t.arena.Recycle(sd.Part)
+			continue
+		}
+		if p, ok := s.prev[sd.Set]; ok {
+			s.memo[sd.Set] = p
+			delete(s.prev, sd.Set)
+			s.r.t.arena.Recycle(sd.Part)
+			continue
+		}
+		s.memo[sd.Set] = sd.Part
+		s.seeded++
+	}
 }
 
 // rotate opens a new level generation: the current memo becomes the previous

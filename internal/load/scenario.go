@@ -1,0 +1,33 @@
+package load
+
+import "fmt"
+
+// Scenarios lists the named traffic presets ApplyScenario accepts.
+func Scenarios() []string { return []string{"repeat-heavy"} }
+
+// ApplyScenario rewrites cfg for a named traffic preset; "" leaves cfg
+// untouched.
+//
+// "repeat-heavy" collapses the small-dataset universe to a single dataset
+// and weights the mix heavily toward fresh small jobs. Every such request
+// carries a perturbed threshold (a distinct result-cache key), so the server
+// genuinely re-validates the same dataset over and over — the worst case for
+// per-job cold-start partitioning and exactly the traffic the server's
+// partition cache (-partition-cache-bytes) memoizes: the first job prepares
+// the partitions, every repeat skips the prepare.
+func ApplyScenario(cfg Config, scenario string) (Config, error) {
+	switch scenario {
+	case "":
+		return cfg, nil
+	case "repeat-heavy":
+		mix, err := ParseMix("cachehit=10,small=85,large=5")
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Mix = mix
+		cfg.SmallDatasets = 1
+		return cfg, nil
+	default:
+		return cfg, fmt.Errorf("load: unknown scenario %q (want one of %v)", scenario, Scenarios())
+	}
+}

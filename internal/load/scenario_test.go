@@ -1,0 +1,30 @@
+package load
+
+import "testing"
+
+func TestApplyScenarioRepeatHeavy(t *testing.T) {
+	cfg, err := ApplyScenario(Config{SmallDatasets: 8, Mix: DefaultMix()}, "repeat-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SmallDatasets != 1 {
+		t.Errorf("repeat-heavy should collapse the small universe to one dataset, got %d", cfg.SmallDatasets)
+	}
+	if w := cfg.Mix.Weight(Small); w != 85 {
+		t.Errorf("repeat-heavy small weight = %d, want 85", w)
+	}
+	if cfg.Mix.Weight(CacheHit) != 10 || cfg.Mix.Weight(Large) != 5 {
+		t.Errorf("repeat-heavy mix = %s, want cachehit=10,small=85,large=5", cfg.Mix)
+	}
+}
+
+func TestApplyScenarioPassthroughAndUnknown(t *testing.T) {
+	in := Config{SmallDatasets: 8, Mix: DefaultMix()}
+	out, err := ApplyScenario(in, "")
+	if err != nil || out.SmallDatasets != 8 || out.Mix.String() != in.Mix.String() {
+		t.Errorf("empty scenario must be a no-op, got %+v, %v", out, err)
+	}
+	if _, err := ApplyScenario(in, "nope"); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}

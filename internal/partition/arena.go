@@ -70,13 +70,35 @@ func (s *ProductScratch) nextClass() {
 // products reuse them, so steady-state traversal allocates nearly nothing.
 // An Arena is safe for concurrent use (the parallel engine's workers share
 // one); the zero value is ready to use.
+//
+// An arena built with NewArenaLimit is additionally size-capped: instead of
+// the GC-emptied sync.Pool it keeps an exact-accounted LIFO free list, so a
+// server-level arena shared across jobs holds at most maxBytes of retained
+// partition buffers and sheds the rest to the garbage collector.
 type Arena struct {
 	parts   sync.Pool
 	scratch sync.Pool
+
+	// Bounded mode (limit > 0): mu guards the free list and its byte count.
+	limit     int64
+	mu        sync.Mutex
+	free      []*Stripped
+	freeBytes int64
+	dropped   uint64
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// NewArenaLimit returns an arena whose retained partition buffers never
+// exceed maxBytes; Recycle calls past the cap drop the partition instead.
+// maxBytes <= 0 degenerates to an unbounded NewArena.
+func NewArenaLimit(maxBytes int64) *Arena {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &Arena{limit: maxBytes}
+}
 
 // Product computes p · q into a partition drawn from the arena, using pooled
 // scratch. The result must be returned with Recycle once unreferenced for
@@ -92,6 +114,19 @@ func (a *Arena) Product(p, q *Stripped) *Stripped {
 // GetStripped returns a recycled (or fresh) partition whose buffers are
 // reused by ProductInto.
 func (a *Arena) GetStripped() *Stripped {
+	if a.limit > 0 {
+		a.mu.Lock()
+		if n := len(a.free); n > 0 {
+			p := a.free[n-1]
+			a.free[n-1] = nil
+			a.free = a.free[:n-1]
+			a.freeBytes -= p.MemBytes()
+			a.mu.Unlock()
+			return p
+		}
+		a.mu.Unlock()
+		return &Stripped{}
+	}
 	if v := a.parts.Get(); v != nil {
 		return v.(*Stripped)
 	}
@@ -99,11 +134,38 @@ func (a *Arena) GetStripped() *Stripped {
 }
 
 // Recycle returns a partition to the arena. The caller must not use p (or
-// any Class view into it) afterwards.
+// any Class view into it) afterwards. Shared partitions (Share) are never
+// reclaimed — other jobs may still be reading them — and a bounded arena
+// drops partitions that would push it past its byte cap.
 func (a *Arena) Recycle(p *Stripped) {
-	if p != nil {
-		a.parts.Put(p)
+	if p == nil || p.IsShared() {
+		return
 	}
+	if a.limit > 0 {
+		b := p.MemBytes()
+		a.mu.Lock()
+		if a.freeBytes+b > a.limit {
+			a.dropped++
+			a.mu.Unlock()
+			return
+		}
+		a.free = append(a.free, p)
+		a.freeBytes += b
+		a.mu.Unlock()
+		return
+	}
+	a.parts.Put(p)
+}
+
+// RetainedBytes reports the bytes currently held on a bounded arena's free
+// list (always 0 for an unbounded arena, whose sync.Pool is GC-managed).
+func (a *Arena) RetainedBytes() int64 {
+	if a.limit == 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeBytes
 }
 
 // GetScratch returns a recycled (or fresh) product scratch.

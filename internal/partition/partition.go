@@ -17,6 +17,7 @@ package partition
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"aod/internal/dataset"
 )
@@ -34,6 +35,29 @@ type Stripped struct {
 	// least one element.
 	rows    []int32
 	offsets []int32
+	// shared is the cross-job sharing seam: once set (Share), the partition
+	// is immutable — reset panics and Arena.Recycle refuses to reclaim the
+	// buffers — so cache-resident partitions handed to concurrent jobs can
+	// never be scribbled over by a later product. Accessed atomically.
+	shared uint32
+}
+
+// Share marks p immutable for concurrent sharing: a shared partition can be
+// read by any number of goroutines, but it can no longer be recycled into an
+// arena or used as a product output buffer. Marking is one-way and
+// idempotent; it returns p for chaining.
+func (p *Stripped) Share() *Stripped {
+	atomic.StoreUint32(&p.shared, 1)
+	return p
+}
+
+// IsShared reports whether Share has marked p immutable.
+func (p *Stripped) IsShared() bool { return atomic.LoadUint32(&p.shared) != 0 }
+
+// MemBytes returns the retained heap footprint of the CSR buffers (capacity,
+// not length — what the arena or a cache actually holds onto).
+func (p *Stripped) MemBytes() int64 {
+	return int64(cap(p.rows))*4 + int64(cap(p.offsets))*4
 }
 
 // NumClasses returns the number of non-singleton classes.
@@ -71,6 +95,9 @@ func (p *Stripped) String() string {
 // reset prepares p to receive a partition over n rows with at most rowCap
 // covered rows, reusing the existing buffers when large enough.
 func (p *Stripped) reset(n, rowCap int) {
+	if p.IsShared() {
+		panic("partition: reuse of a shared partition as a product output")
+	}
 	p.N = n
 	if cap(p.rows) < rowCap {
 		p.rows = make([]int32, 0, rowCap)
@@ -303,6 +330,49 @@ func (p *Stripped) Refines(q *Stripped) bool {
 		}
 	}
 	return true
+}
+
+// RawCSR exposes the flat CSR buffers for serialization: the concatenated
+// class rows and the offsets array (with its trailing sentinel). Both slices
+// are views into the partition and must not be modified.
+func (p *Stripped) RawCSR() (rows, offsets []int32) { return p.rows, p.offsets }
+
+// FromCSR builds a stripped partition over n rows directly from CSR buffers
+// (taking ownership of both slices), validating every structural invariant a
+// decoder needs before the partition can be probed: monotone offsets
+// bracketing rows exactly, classes of at least two rows each, and row ids
+// ascending within a class and in [0, n). Class order is preserved exactly —
+// fold products emit classes in discovery order, and a shipped partition must
+// match what the receiver would have folded locally byte for byte. It is the
+// deserialization counterpart of RawCSR.
+func FromCSR(n int, rows, offsets []int32) (*Stripped, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("partition: negative row count %d", n)
+	}
+	if len(offsets) == 0 {
+		if len(rows) != 0 {
+			return nil, fmt.Errorf("partition: %d rows without offsets", len(rows))
+		}
+		return &Stripped{N: n}, nil
+	}
+	if offsets[0] != 0 || int(offsets[len(offsets)-1]) != len(rows) {
+		return nil, fmt.Errorf("partition: offsets [%d..%d] do not bracket %d rows",
+			offsets[0], offsets[len(offsets)-1], len(rows))
+	}
+	for ci := 0; ci+1 < len(offsets); ci++ {
+		lo, hi := offsets[ci], offsets[ci+1]
+		if hi < lo+2 || int(hi) > len(rows) {
+			return nil, fmt.Errorf("partition: class %d spans [%d,%d) over %d rows", ci, lo, hi, len(rows))
+		}
+		last := int32(-1)
+		for _, r := range rows[lo:hi] {
+			if r <= last || int(r) >= n {
+				return nil, fmt.Errorf("partition: row %d out of order or range in class %d", r, ci)
+			}
+			last = r
+		}
+	}
+	return &Stripped{N: n, rows: rows, offsets: offsets}, nil
 }
 
 // Universe returns the trivial partition with a single class containing all n

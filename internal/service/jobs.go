@@ -576,6 +576,36 @@ func (s *Service) pickExecutor(j *Job) executorChoice {
 	return execSerial
 }
 
+// warmFor assembles the job's warm state: the shared partition arena plus —
+// when the partition cache is enabled — the dataset's prepared partitions,
+// cached by content fingerprint. On a miss the partitions are prepared here
+// (the same work a cold run would do at startup, paid once) and admitted for
+// every later job over the same content. The boolean reports a cache hit —
+// the job about to run will skip cold-start partitioning entirely.
+func (s *Service) warmFor(j *Job, ds *aod.Dataset) (aod.Warm, bool) {
+	var warm aod.Warm
+	if s.arena != nil {
+		warm.Arena = s.arena
+	}
+	if s.prepared == nil {
+		return warm, false
+	}
+	info, err := s.registry.Info(j.datasetID)
+	if err != nil {
+		return warm, false // deregistered mid-run: run cold
+	}
+	if p, ok := s.prepared.get(info.Fingerprint); ok {
+		s.met.partitionHits.Inc()
+		warm.Prepared = p
+		return warm, true
+	}
+	s.met.partitionMisses.Inc()
+	p := ds.Prepare()
+	s.prepared.put(info.Fingerprint, p)
+	warm.Prepared = p
+	return warm, false
+}
+
 // validate runs discovery for the job — publishing a partial report and a
 // progress event at every level boundary — updating the run counters and
 // publishing complete results to the cache.
@@ -592,6 +622,18 @@ func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 			hook(j)
 		}
 	}
+	// Warm state before the discover span: a prepared-partition cache hit
+	// means the run skips cold-start partitioning; a miss pays it here once,
+	// for every later job over the same content. The prepared copy
+	// substitutes for the registry's dataset object — equal fingerprints
+	// guarantee identical results, so the swap is invisible to callers.
+	prepSpan := j.trace.StartUnder(j.rootSpan, "prepare-partitions")
+	warm, warmHit := s.warmFor(j, ds)
+	if warm.Prepared != nil {
+		ds = warm.Prepared.Dataset()
+	}
+	prepSpan.Attr("partitionWarm", boolAttr(warmHit))
+	prepSpan.End()
 	// The discovery pipeline picks the trace up from the context and parents
 	// its partition-build and per-level spans (and, under a shard pool, the
 	// per-slice RPC and stitched worker spans) beneath this one.
@@ -599,7 +641,9 @@ func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 	ctx := telemetry.NewContext(j.ctx, j.trace, span.ID())
 	// All executors are result-identical by the executor equivalence
 	// contract, so cache keys and in-flight dedup need not know which one
-	// ran the job — the router trades only latency, never answers.
+	// ran the job — the router trades only latency, never answers. The warm
+	// state holds for all three tiers: the sharded coordinator folds and
+	// ships from the same prepared singles a local run validates against.
 	var rep *aod.Report
 	var err error
 	switch s.pickExecutor(j) {
@@ -609,19 +653,19 @@ func (s *Service) validate(j *Job, ds *aod.Dataset) (*aod.Report, error) {
 		if opts.ShardWorkQuantum == 0 {
 			opts.ShardWorkQuantum = s.cfg.ShardWorkQuantum
 		}
-		rep, err = aod.DiscoverShardedStreamContext(ctx, ds, opts, s.cfg.ShardPool, onLevel)
+		rep, err = aod.DiscoverWarmStreamContext(ctx, ds, opts, warm, s.cfg.ShardPool, onLevel)
 	case execPool:
 		s.met.routedPool.Inc()
 		opts := j.opts
 		if opts.Parallelism <= 1 {
 			opts.Parallelism = runtime.GOMAXPROCS(0)
 		}
-		rep, err = aod.DiscoverStreamContext(ctx, ds, opts, onLevel)
+		rep, err = aod.DiscoverWarmStreamContext(ctx, ds, opts, warm, nil, onLevel)
 	default:
 		s.met.routedSerial.Inc()
 		opts := j.opts
 		opts.Parallelism = 0
-		rep, err = aod.DiscoverStreamContext(ctx, ds, opts, onLevel)
+		rep, err = aod.DiscoverWarmStreamContext(ctx, ds, opts, warm, nil, onLevel)
 	}
 	span.End()
 	if err == nil && !rep.Stats.Canceled && !rep.Stats.TimedOut {

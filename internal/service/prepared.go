@@ -1,0 +1,105 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"aod"
+)
+
+// preparedCache is a byte-bounded LRU of prepared datasets (their
+// single-attribute partitions) keyed by content fingerprint — the server-side
+// half of cross-job partition memoization. A hit hands the job partitions an
+// earlier job already built, so a repeat submission against a registered
+// dataset — same data, different threshold — skips cold-start partitioning
+// entirely. Entries are immutable (prepared partitions are marked shared),
+// so one entry may back any number of concurrent jobs; eviction only drops
+// the cache's reference, and running jobs keep theirs.
+//
+// The cache is keyed by fingerprint, not dataset id or pointer: re-uploads,
+// registry evictions and disk reloads produce fresh Dataset objects, but
+// equal fingerprints guarantee identical discovery results, so the cached
+// prepared copy substitutes for any of them.
+type preparedCache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type preparedEntry struct {
+	fp    string
+	prep  *aod.PreparedDataset
+	bytes int64
+}
+
+// newPreparedCache returns a cache retaining at most maxBytes of prepared
+// partitions; maxBytes <= 0 disables the cache (nil return).
+func newPreparedCache(maxBytes int64) *preparedCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &preparedCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the prepared dataset for the fingerprint, refreshing recency.
+func (c *preparedCache) get(fp string) (*aod.PreparedDataset, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*preparedEntry).prep, true
+}
+
+// put admits the prepared dataset, evicting least recently used entries past
+// the byte budget. A single entry larger than the whole budget is not
+// admitted at all — it would only evict everything else and then miss anyway.
+func (c *preparedCache) put(fp string, p *aod.PreparedDataset) {
+	if c == nil {
+		return
+	}
+	b := p.MemBytes()
+	if b > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		// A concurrent miss on the same fingerprint prepared a duplicate;
+		// keep the incumbent (jobs already hold it) and refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[fp] = c.ll.PushFront(&preparedEntry{fp: fp, prep: p, bytes: b})
+	c.bytes += b
+	for c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*preparedEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.fp)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// stats returns current entry count, retained bytes, and lifetime evictions.
+func (c *preparedCache) stats() (entries int, bytes int64, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.evictions
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aod"
+)
+
+// timelessReportJSON canonicalizes a report for byte-identity comparison,
+// dropping the timing fields that legitimately differ between runs.
+func timelessReportJSON(t *testing.T, rep *aod.Report) string {
+	t.Helper()
+	r := *rep
+	r.Stats.ValidationTime = 0
+	r.Stats.PartitionTime = 0
+	r.Stats.TotalTime = 0
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// submitAndWait runs one job to completion and returns its report.
+func submitAndWait(t *testing.T, s *Service, datasetID string, opts aod.Options) *aod.Report {
+	t.Helper()
+	v, err := s.Submit(datasetID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, v.ID, JobDone)
+	if done.Report == nil {
+		t.Fatalf("done job %s has no report", v.ID)
+	}
+	return done.Report
+}
+
+// TestWarmRepeatSkipsPrepare pins the server half of cross-job partition
+// memoization: the first job over a dataset prepares its partitions cold and
+// admits them to the cache (one miss); every repeat job with different
+// options — a distinct result-cache key, so it genuinely validates — reuses
+// them (hits move, misses do not), which is exactly the "repeat job skips
+// core.Prepare" contract: a hit hands the pipeline prebuilt singles and
+// buildSingles short-circuits.
+func TestWarmRepeatSkipsPrepare(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	info, _, err := s.Registry().Add("employees", smallDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitAndWait(t, s, info.ID, aod.Options{Threshold: 0, IncludeOFDs: true})
+	st := s.Stats()
+	if st.PartitionCacheMisses != 1 || st.PartitionCacheHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/1", st.PartitionCacheHits, st.PartitionCacheMisses)
+	}
+	if st.PartitionCacheEntries != 1 || st.PartitionCacheBytes <= 0 {
+		t.Fatalf("cold run did not admit prepared partitions: entries=%d bytes=%d",
+			st.PartitionCacheEntries, st.PartitionCacheBytes)
+	}
+
+	submitAndWait(t, s, info.ID, aod.Options{Threshold: 0.12, IncludeOFDs: true})
+	submitAndWait(t, s, info.ID, aod.Options{Threshold: 0.3})
+	st = s.Stats()
+	if st.PartitionCacheMisses != 1 {
+		t.Errorf("repeat jobs re-prepared partitions: misses=%d, want 1", st.PartitionCacheMisses)
+	}
+	if st.PartitionCacheHits != 2 {
+		t.Errorf("repeat jobs missed the partition cache: hits=%d, want 2", st.PartitionCacheHits)
+	}
+}
+
+// TestWarmMatchesColdReports pins result identity across the warm seam: a
+// server with the partition cache disabled and one with it enabled produce
+// byte-identical reports for the same submissions, warm or cold.
+func TestWarmMatchesColdReports(t *testing.T) {
+	cold := New(Config{Workers: 1, PartitionCacheBytes: -1})
+	defer cold.Close()
+	warm := New(Config{Workers: 1})
+	defer warm.Close()
+
+	ds := slowDataset(t, 300, 5)
+	coldInfo, _, err := cold.Registry().Add("d", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmInfo, _, err := warm.Registry().Add("d", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, th := range []float64{0, 0.1, 0.1, 0.25} { // 0.1 twice: warm repeat
+		opts := aod.Options{Threshold: th, IncludeOFDs: true, CollectRemovalSets: true}
+		cr := submitAndWait(t, cold, coldInfo.ID, opts)
+		wr := submitAndWait(t, warm, warmInfo.ID, opts)
+		if cj, wj := timelessReportJSON(t, cr), timelessReportJSON(t, wr); cj != wj {
+			t.Fatalf("threshold %v: warm report diverges from cold:\ncold: %s\nwarm: %s", th, cj, wj)
+		}
+	}
+	if st := cold.Stats(); st.PartitionCacheHits != 0 || st.PartitionCacheMisses != 0 || st.PartitionCacheBytes != 0 {
+		t.Errorf("disabled partition cache moved: %+v", st)
+	}
+	if st := warm.Stats(); st.PartitionCacheHits == 0 {
+		t.Error("warm server never hit its partition cache")
+	}
+}
+
+// TestConcurrentWarmJobsShareCache races many distinct jobs over one dataset
+// through the shared prepared partitions and arena — the cross-job safety
+// claim the Share seam makes, checked under -race. Distinct thresholds keep
+// every job a real validation run (no result-cache or in-flight sharing).
+func TestConcurrentWarmJobsShareCache(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	defer s.Close()
+	ds := slowDataset(t, 200, 4)
+	info, _, err := s.Registry().Add("d", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := aod.Options{Threshold: float64(i) / (2 * n), IncludeOFDs: true}
+			v, err := s.Submit(info.ID, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		waitState(t, s, id, JobDone)
+	}
+	st := s.Stats()
+	if st.PartitionCacheHits+st.PartitionCacheMisses != n {
+		t.Errorf("warm accounting: hits=%d misses=%d, want sum %d",
+			st.PartitionCacheHits, st.PartitionCacheMisses, n)
+	}
+	if st.PartitionCacheMisses == 0 {
+		t.Error("no job prepared the partitions cold")
+	}
+	if st.PartitionCacheEntries != 1 {
+		t.Errorf("one dataset should occupy one cache entry, got %d", st.PartitionCacheEntries)
+	}
+}
+
+// TestPreparedCacheEviction pins the byte bound: admitting more prepared
+// datasets than the budget holds evicts the least recently used, and the
+// evicted dataset's next job re-prepares (a miss, not a stale hit).
+func TestPreparedCacheEviction(t *testing.T) {
+	// Three datasets with distinct content (distinct fingerprints).
+	dss := make([]*aod.Dataset, 3)
+	var total int64
+	for i := range dss {
+		ds, err := aod.NewBuilder().
+			AddInts("a", []int64{int64(i), 2, 3, 1, 2, 3, 1, 2, 3}).
+			AddInts("b", []int64{1, 1, 1, 2, 2, 2, 3, 3, 3}).
+			AddInts("c", []int64{3, 2, 1, 3, 2, 1, 3, 2, 1}).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dss[i] = ds
+		total += ds.Prepare().MemBytes()
+	}
+	// One byte short of all three: admitting the third must evict the first.
+	s := New(Config{Workers: 1, PartitionCacheBytes: total - 1})
+	defer s.Close()
+
+	ids := make([]string, 3)
+	for i, ds := range dss {
+		info, _, err := s.Registry().Add(fmt.Sprintf("d%d", i), ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+		submitAndWait(t, s, info.ID, aod.Options{Threshold: 0.1})
+	}
+	st := s.Stats()
+	if st.PartitionCacheEvictions == 0 {
+		t.Fatalf("three datasets over a two-dataset budget evicted nothing: %+v", st)
+	}
+	// The evicted (oldest) dataset misses again — a fresh prepare, never a
+	// stale hit.
+	misses := st.PartitionCacheMisses
+	submitAndWait(t, s, ids[0], aod.Options{Threshold: 0.2})
+	if got := s.Stats().PartitionCacheMisses; got != misses+1 {
+		t.Errorf("evicted dataset should re-prepare: misses %d -> %d, want +1", misses, got)
+	}
+}

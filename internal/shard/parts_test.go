@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aod/internal/core"
+	"aod/internal/gen"
+	"aod/internal/partition"
+)
+
+// TestPartitionShippingEquivalence pins the cross-worker half of partition
+// memoization: on a table past the shipping cutover, with the pool at full
+// width (quantum -1, so levels split into multiple slices), the coordinator
+// ships committed context partitions and every worker seeds its fold memo
+// from them — and the result is still byte-identical to the serial run,
+// including under a forced straggler whose re-dispatches re-ship the frames.
+func TestPartitionShippingEquivalence(t *testing.T) {
+	tbl := gen.Flight(gen.FlightConfig{Rows: 2500, Attrs: 6, Seed: 17})
+	cfg := core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal, IncludeOFDs: true, CollectRemovalSets: true}
+	want := discoverWith(t, tbl, cfg, core.Serial())
+
+	cases := map[string]func() []*Worker{
+		"lb3": func() []*Worker {
+			return []*Worker{NewWorker(WorkerOptions{}), NewWorker(WorkerOptions{}), NewWorker(WorkerOptions{})}
+		},
+		"straggler": func() []*Worker {
+			return []*Worker{
+				NewWorker(WorkerOptions{}),
+				NewWorker(WorkerOptions{LevelHook: func(level, tasks int) error {
+					time.Sleep(15 * time.Millisecond)
+					return nil
+				}}),
+				NewWorker(WorkerOptions{}),
+			}
+		},
+	}
+	for name, mk := range cases {
+		workers := mk()
+		var clusterCfg Config
+		if name == "straggler" {
+			clusterCfg.StragglerAfter = 5 * time.Millisecond
+		}
+		cluster := NewLoopback(clusterCfg, workers)
+		got := discoverWith(t, tbl, cfg, core.ShardedQuantum(cluster, -1))
+		requireIdentical(t, "parts/"+name, want, got)
+
+		var seeded uint64
+		for _, w := range workers {
+			seeded += w.PartitionsSeeded()
+		}
+		if seeded == 0 {
+			t.Errorf("%s: no worker seeded a shipped partition — the parts path never engaged", name)
+		}
+		cluster.Close()
+	}
+}
+
+// TestPartitionShippingWarmEqualsCold runs the shipping-scale sharded job
+// twice through one shared PreparedTable and bounded arena — the server's
+// warm path — and once fully cold: all three reports must be identical, and
+// the warm runs must seed workers exactly like the cold one.
+func TestPartitionShippingWarmEqualsCold(t *testing.T) {
+	tbl := gen.Flight(gen.FlightConfig{Rows: 2500, Attrs: 6, Seed: 29})
+	cfg := core.Config{Threshold: 0.10, Validator: core.ValidatorOptimal, IncludeOFDs: true}
+	want := discoverWith(t, tbl, cfg, core.Serial())
+
+	prep := core.Prepare(tbl)
+	arena := partition.NewArenaLimit(32 << 20)
+	for run := 0; run < 2; run++ {
+		workers := []*Worker{NewWorker(WorkerOptions{}), NewWorker(WorkerOptions{})}
+		cluster := NewLoopback(Config{}, workers)
+		res, err := core.Pipeline{
+			Executor: core.ShardedQuantum(cluster, -1),
+			Prepared: prep,
+			Arena:    arena,
+		}.Run(context.Background(), tbl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, "warm", want, res)
+		var seeded uint64
+		for _, w := range workers {
+			seeded += w.PartitionsSeeded()
+		}
+		if seeded == 0 {
+			t.Errorf("warm run %d: workers were never seeded", run)
+		}
+		cluster.Close()
+	}
+}

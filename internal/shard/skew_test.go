@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -44,8 +45,9 @@ func readJSONFrame(t *testing.T, conn net.Conn, v any) {
 }
 
 // TestVersionSkewV1CoordinatorRejected pins the forward half of the skew
-// contract: a v1 coordinator greeting a v2 worker gets an explicit in-band
-// ack error naming both protocol numbers — never a hang or a garbage decode.
+// contract: a v1 coordinator greeting a current-version worker gets an
+// explicit in-band ack error naming both protocol numbers — never a hang or
+// a garbage decode.
 func TestVersionSkewV1CoordinatorRejected(t *testing.T) {
 	w := NewWorker(WorkerOptions{})
 	client, server := net.Pipe()
@@ -53,41 +55,42 @@ func TestVersionSkewV1CoordinatorRejected(t *testing.T) {
 	go func() { w.ServeConn(server); close(done) }()
 	client.SetDeadline(time.Now().Add(5 * time.Second))
 
-	// A v1 hello is byte-compatible with a v2 hello: JSON with proto: 1.
+	// A v1 hello is byte-compatible with every later hello: JSON, proto: 1.
 	writeJSONFrame(t, client, &frame{T: "hello", Hello: &helloMsg{Proto: 1, Fingerprint: "fp", Rows: 10, Cols: 2}})
 	var rf frame
 	readJSONFrame(t, client, &rf)
 	if rf.T != "ack" || rf.Ack == nil {
-		t.Fatalf("v2 worker answered a v1 hello with %+v, want an ack", rf)
+		t.Fatalf("worker answered a v1 hello with %+v, want an ack", rf)
 	}
 	if rf.Ack.OK || rf.Ack.Error == "" {
-		t.Fatalf("v2 worker accepted a v1 hello: %+v", rf.Ack)
+		t.Fatalf("worker accepted a v1 hello: %+v", rf.Ack)
 	}
-	if !strings.Contains(rf.Ack.Error, "protocol 1") || !strings.Contains(rf.Ack.Error, "want 2") {
+	if !strings.Contains(rf.Ack.Error, "protocol 1") ||
+		!strings.Contains(rf.Ack.Error, fmt.Sprintf("want %d", protoVersion)) {
 		t.Errorf("skew rejection should name both versions, got %q", rf.Ack.Error)
 	}
 	client.Close()
 	<-done
 }
 
-// TestVersionSkewV1WorkerRejected pins the reverse half: a v2 coordinator
-// dialing a v1 worker (which parses the JSON hello, sees proto 2, and
-// refuses in-band exactly as v1 did) surfaces a clear handshake error.
+// TestVersionSkewV1WorkerRejected pins the reverse half: a current-version
+// coordinator dialing a v1 worker (which parses the JSON hello, sees a proto
+// it does not speak, and refuses in-band exactly as every generation does)
+// surfaces a clear handshake error.
 func TestVersionSkewV1WorkerRejected(t *testing.T) {
+	refusal := fmt.Sprintf("protocol %d not supported (want 1)", protoVersion)
 	client, server := net.Pipe()
 	defer client.Close()
 	go func() {
 		// Simulated v1 worker: all-JSON protocol, refuses proto != 1 with the
-		// same in-band ack shape v2 uses.
+		// same in-band ack shape every later version uses.
 		defer server.Close()
 		br := bufio.NewReader(server)
 		f, _, err := readFrame(br) // v1 parses any generation's JSON hello
 		if err != nil || f.T != "hello" || f.Hello == nil {
 			return
 		}
-		body, _ := json.Marshal(&frame{T: "ack", Ack: &ackMsg{
-			Error: "protocol 2 not supported (want 1)",
-		}})
+		body, _ := json.Marshal(&frame{T: "ack", Ack: &ackMsg{Error: refusal}})
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 		server.Write(append(hdr[:], body...))
@@ -99,7 +102,7 @@ func TestVersionSkewV1WorkerRejected(t *testing.T) {
 	if err == nil {
 		t.Fatal("handshake with a v1 worker succeeded, want an explicit rejection")
 	}
-	if !strings.Contains(err.Error(), "protocol 2 not supported (want 1)") {
+	if !strings.Contains(err.Error(), refusal) {
 		t.Errorf("skew error should carry the worker's refusal verbatim, got %v", err)
 	}
 	if !c.dead.Load() {

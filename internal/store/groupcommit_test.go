@@ -1,0 +1,166 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aod"
+)
+
+// TestGroupCommitBatchesConcurrentWrites pins the fsync-batching mechanics:
+// a burst of concurrent report writes lands in fewer commit batches than
+// writes (the group actually forms), every write is durable and readable
+// afterwards, and a lone write still flushes as its own batch.
+func TestGroupCommitBatchesConcurrentWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", i)
+			if err := s.PutReport(key, &aod.Report{Stats: aod.Stats{Rows: i}}); err != nil {
+				t.Errorf("put %s: %v", key, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := s.BatchedWrites(); got != n {
+		t.Errorf("batched writes = %d, want %d", got, n)
+	}
+	if batches := s.GroupCommits(); batches == 0 || batches >= n {
+		t.Errorf("%d writes flushed in %d batches; group commit never batched", n, batches)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		rep, ok := s.GetReport(key)
+		if !ok {
+			t.Fatalf("acknowledged report %s is not readable", key)
+		}
+		if rep.Stats.Rows != i {
+			t.Fatalf("report %s round-tripped wrong content: rows=%d", key, rep.Stats.Rows)
+		}
+	}
+}
+
+// TestCrashRecoveryNoAcknowledgedWriteLost is the durability acceptance for
+// group commit: a child process writes reports concurrently through the
+// batched path and reports each acknowledgement on its pipe strictly after
+// PutReport returns; the parent SIGKILLs it mid-burst, reopens the store
+// directory, and every acknowledged key must load intact. The whole reports
+// directory must also hold only complete envelopes — an unacknowledged
+// write may be absent, but never torn.
+func TestCrashRecoveryNoAcknowledgedWriteLost(t *testing.T) {
+	if dir := os.Getenv("AOD_STORE_CRASH_DIR"); dir != "" {
+		crashChild(dir)
+		return
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashRecoveryNoAcknowledgedWriteLost$", "-test.v")
+	cmd.Env = append(os.Environ(), "AOD_STORE_CRASH_DIR="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect acknowledged keys until enough have landed to make the kill
+	// meaningful, then SIGKILL with writes still in flight.
+	var acked []string
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "acked ") {
+			continue
+		}
+		acked = append(acked, strings.TrimPrefix(line, "acked "))
+		if len(acked) >= 200 {
+			break
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain so the child's pipe never blocks, then reap it.
+	for sc.Scan() {
+	}
+	cmd.Wait()
+	if len(acked) < 200 {
+		t.Fatalf("child died after only %d acknowledged writes", len(acked))
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopening crashed store: %v", err)
+	}
+	for _, key := range acked {
+		if _, ok := s.GetReport(key); !ok {
+			t.Errorf("acknowledged report %q lost in crash", key)
+		}
+	}
+	if q := s.Quarantined(); q != 0 {
+		t.Errorf("recovery quarantined %d files: acknowledged or in-flight writes tore", q)
+	}
+	// No torn files anywhere under the live tree: in-flight writes crash
+	// either into tmp/ (swept at Open) or as complete, decodable envelopes.
+	ents, err := os.ReadDir(filepath.Join(dir, reportsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		var env reportEnvelope
+		if err := s.readJSONFile(filepath.Join(dir, reportsDir, e.Name()), &env); err != nil {
+			t.Errorf("report file %s is torn after crash: %v", e.Name(), err)
+		}
+	}
+}
+
+// crashChild is the subprocess body: hammer PutReport from several
+// goroutines forever (the parent kills us), acknowledging each durable write
+// on stdout only after PutReport returns.
+func crashChild(dir string) {
+	s, err := Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
+		os.Exit(1)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				key := fmt.Sprintf("crash-%d-%d", g, i)
+				if err := s.PutReport(key, &aod.Report{Stats: aod.Stats{Rows: i}}); err != nil {
+					fmt.Fprintf(os.Stderr, "crash child put: %v\n", err)
+					os.Exit(1)
+				}
+				mu.Lock()
+				fmt.Printf("acked %s\n", key)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Unreachable: the parent SIGKILLs us. The deadline below only bounds a
+	// runaway child if the parent dies first.
+	time.Sleep(time.Minute)
+	os.Exit(0)
+}

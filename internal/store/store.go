@@ -65,6 +65,26 @@ type Store struct {
 
 	quarantined atomic.Uint64
 	recovered   int // datasets re-indexed by the manifest recovery scan
+
+	// Group commit: concurrent writers stage temp files and queue them here;
+	// one writer at a time becomes the commit leader and flushes the whole
+	// queue under a single directory sync (see writeFileAtomic). cmu guards
+	// queue and leading.
+	cmu     sync.Mutex
+	queue   []*commitReq
+	leading bool
+
+	groupCommits  atomic.Uint64 // commit batches flushed
+	batchedWrites atomic.Uint64 // writes acknowledged across all batches
+}
+
+// commitReq is one staged write awaiting its group commit: the open temp
+// file (written, not yet synced), the live name it publishes under, and the
+// channel its writer blocks on until the batch it rode in is durable.
+type commitReq struct {
+	f    *os.File
+	path string
+	done chan error
 }
 
 // Open prepares the data directory (creating it and its subdirectories as
@@ -112,38 +132,110 @@ func (s *Store) path(elem ...string) string {
 
 // writeFileAtomic publishes data under path via write-to-temp, fsync, and
 // rename, so readers never observe a partially written file and a crash
-// cannot tear an existing one.
+// cannot tear an existing one. It returns only after the write is durable —
+// file content synced, rename published, directory entry synced — so every
+// acknowledged write survives a crash.
+//
+// The fsyncs are group-committed: the temp file is staged unsynced and
+// queued, and one writer at a time drains the queue as commit leader,
+// amortizing the per-batch directory sync (the dominant cost under
+// concurrent report writes) across every queued write. A lone writer pays
+// exactly the old sequence; a burst of writers shares one leader per batch.
 func (s *Store) writeFileAtomic(path string, data []byte) error {
 	f, err := os.CreateTemp(s.path(tmpDir), "put-*")
 	if err != nil {
 		return err
 	}
-	tmp := f.Name()
-	_, werr := f.Write(data)
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, path)
-	}
-	if werr != nil {
-		os.Remove(tmp)
+	if _, werr := f.Write(data); werr != nil {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
 		return werr
 	}
-	// Make the rename itself durable: without a directory sync the new
+	req := &commitReq{f: f, path: path, done: make(chan error, 1)}
+	s.cmu.Lock()
+	s.queue = append(s.queue, req)
+	lead := !s.leading
+	if lead {
+		s.leading = true
+	}
+	s.cmu.Unlock()
+	if lead {
+		s.commitLoop()
+	}
+	return <-req.done
+}
+
+// commitLoop drains the commit queue as batches until it is empty, then
+// steps down. Writers that queued while a batch was flushing ride the next
+// one — that accumulation is what makes the commit a group.
+func (s *Store) commitLoop() {
+	for {
+		s.cmu.Lock()
+		batch := s.queue
+		s.queue = nil
+		if len(batch) == 0 {
+			s.leading = false
+			s.cmu.Unlock()
+			return
+		}
+		s.cmu.Unlock()
+		s.commitBatch(batch)
+	}
+}
+
+// commitBatch makes one queue drain durable: per-file sync + rename (a
+// failure fails only that write), then one sync per distinct directory for
+// the whole batch, then every writer is released. Acknowledgement strictly
+// follows the directory sync — a write is never reported durable before its
+// rename is.
+func (s *Store) commitBatch(batch []*commitReq) {
+	errs := make([]error, len(batch))
+	for i, req := range batch {
+		tmp := req.f.Name()
+		werr := req.f.Sync()
+		if cerr := req.f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp, req.path)
+		}
+		if werr != nil {
+			os.Remove(tmp)
+			errs[i] = werr
+		}
+	}
+	// Make the renames themselves durable: without a directory sync a new
 	// entry may not survive power loss even though the file data would.
 	// Best-effort — not every platform or filesystem supports fsync on a
 	// directory handle, and a failure there must not fail a write the
 	// journal will usually persist anyway.
-	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
-		d.Sync()
-		d.Close()
+	dirs := make(map[string]struct{}, 1)
+	for i, req := range batch {
+		if errs[i] != nil {
+			continue
+		}
+		dirs[filepath.Dir(req.path)] = struct{}{}
 	}
-	return nil
+	for dir := range dirs {
+		if d, derr := os.Open(dir); derr == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	s.groupCommits.Add(1)
+	s.batchedWrites.Add(uint64(len(batch)))
+	for i, req := range batch {
+		req.done <- errs[i]
+	}
 }
+
+// GroupCommits returns the number of commit batches flushed since Open.
+func (s *Store) GroupCommits() uint64 { return s.groupCommits.Load() }
+
+// BatchedWrites returns the number of writes acknowledged across all commit
+// batches; BatchedWrites > GroupCommits means fsync batching has engaged.
+func (s *Store) BatchedWrites() uint64 { return s.batchedWrites.Load() }
 
 // quarantine moves the file aside into the quarantine directory under a
 // timestamped name (so repeated quarantines of one path never collide) and
